@@ -1,0 +1,214 @@
+// Package mpi3rma's root benchmark file maps every figure and ablation
+// experiment of DESIGN.md onto testing.B benchmarks, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's evaluation. Each benchmark iteration runs one
+// complete experiment cell (fresh simulated world, full workload) and
+// reports the modelled virtual time as the custom metric "model-us/op"
+// alongside the usual wall ns/op. The model metric is the primary series —
+// see EXPERIMENTS.md.
+package mpi3rma
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mpi3rma/internal/bench"
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/serializer"
+)
+
+// benchSizes is the subset of the Figure 2 sweep used for testing.B runs
+// (the full sweep lives in cmd/rmabench).
+var benchSizes = []int{8, 128, 1024}
+
+// runCell executes one puts+complete cell per iteration and reports both
+// time series.
+func runCell(b *testing.B, cfg bench.PutsCompleteConfig) {
+	b.Helper()
+	var modelUS float64
+	for i := 0; i < b.N; i++ {
+		out := bench.RunPutsComplete(cfg)
+		modelUS += out.Row.ModelUS
+		if !out.Verified {
+			b.Fatal("target memory inconsistent after the workload")
+		}
+	}
+	b.ReportMetric(modelUS/float64(b.N), "model-us/op")
+}
+
+// BenchmarkFig2 is the paper's Figure 2: the cost of each RMA attribute,
+// 7 origins x 100 blocking puts + 1 complete.
+func BenchmarkFig2(b *testing.B) {
+	for _, s := range bench.Fig2SeriesSet {
+		for _, size := range benchSizes {
+			s, size := s, size
+			b.Run(fmt.Sprintf("%s/size=%d", s.Name, size), func(b *testing.B) {
+				runCell(b, bench.PutsCompleteConfig{
+					Origins: bench.Fig2Origins,
+					Puts:    bench.Fig2Puts,
+					Size:    size,
+					Attrs:   s.Attrs,
+					Mech:    s.Mech,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkOrderingUnordered is E3: the ordering attribute on an
+// unordered (QSNet-like) network.
+func BenchmarkOrderingUnordered(b *testing.B) {
+	for _, ordering := range []bool{false, true} {
+		for _, size := range benchSizes {
+			ordering, size := ordering, size
+			name := "none"
+			attrs := core.AttrNone
+			if ordering {
+				name = "ordering"
+				attrs = core.AttrOrdering
+			}
+			b.Run(fmt.Sprintf("%s/size=%d", name, size), func(b *testing.B) {
+				runCell(b, bench.PutsCompleteConfig{
+					Origins:   bench.Fig2Origins,
+					Puts:      bench.Fig2Puts,
+					Size:      size,
+					Attrs:     attrs,
+					Mech:      serializer.MechThread,
+					Unordered: true,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkRemoteCompleteEmulated is E4: remote completion with hardware
+// acknowledgements vs software echoes.
+func BenchmarkRemoteCompleteEmulated(b *testing.B) {
+	for _, soft := range []bool{false, true} {
+		for _, size := range benchSizes {
+			soft, size := soft, size
+			name := "hardware-acks"
+			if soft {
+				name = "software-echo"
+			}
+			b.Run(fmt.Sprintf("%s/size=%d", name, size), func(b *testing.B) {
+				runCell(b, bench.PutsCompleteConfig{
+					Origins:      bench.Fig2Origins,
+					Puts:         bench.Fig2Puts,
+					Size:         size,
+					Attrs:        core.AttrRemoteComplete,
+					Mech:         serializer.MechThread,
+					SoftwareAcks: soft,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkNonCoherentTarget is E5: the puts+complete workload against a
+// coherent vs an NEC-SX-style non-coherent target.
+func BenchmarkNonCoherentTarget(b *testing.B) {
+	for _, nonCoh := range []bool{false, true} {
+		for _, size := range benchSizes {
+			nonCoh, size := nonCoh, size
+			name := "coherent"
+			if nonCoh {
+				name = "non-coherent"
+			}
+			b.Run(fmt.Sprintf("%s/size=%d", name, size), func(b *testing.B) {
+				runCell(b, bench.PutsCompleteConfig{
+					Origins:           bench.Fig2Origins,
+					Puts:              bench.Fig2Puts,
+					Size:              size,
+					Attrs:             core.AttrNone,
+					Mech:              serializer.MechThread,
+					NonCoherentTarget: nonCoh,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkSerializers is E8: the atomic workload under every serializer
+// mechanism plus the non-atomic baseline.
+func BenchmarkSerializers(b *testing.B) {
+	type cell struct {
+		name  string
+		attrs core.Attr
+		mech  serializer.Mechanism
+		poll  time.Duration
+	}
+	cells := []cell{
+		{"direct", core.AttrNone, serializer.MechThread, 0},
+		{"thread", core.AttrAtomic, serializer.MechThread, 0},
+		{"progress", core.AttrAtomic, serializer.MechProgress, 5 * time.Microsecond},
+		{"coarse-lock", core.AttrAtomic, serializer.MechCoarseLock, 0},
+	}
+	for _, c := range cells {
+		for _, size := range benchSizes {
+			c, size := c, size
+			b.Run(fmt.Sprintf("%s/size=%d", c.name, size), func(b *testing.B) {
+				runCell(b, bench.PutsCompleteConfig{
+					Origins:     bench.Fig2Origins,
+					Puts:        bench.Fig2Puts,
+					Size:        size,
+					Attrs:       c.attrs,
+					Mech:        c.mech,
+					TargetPolls: c.poll,
+				})
+			})
+		}
+	}
+}
+
+// runResult benches experiments that produce whole Result tables: one
+// iteration = one full experiment; the mean model time over all rows is
+// reported.
+func runResult(b *testing.B, run func() bench.Result) {
+	b.Helper()
+	var modelUS float64
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res := run()
+		for _, r := range res.Rows {
+			modelUS += r.ModelUS
+			rows++
+		}
+	}
+	if rows > 0 {
+		b.ReportMetric(modelUS/float64(rows), "model-us/row")
+	}
+}
+
+// BenchmarkStrawmanVsMPI2 is Figure 1 / E6: per-epoch synchronization
+// cost of fence, PSCW, lock-unlock against strawman single-call puts.
+func BenchmarkStrawmanVsMPI2(b *testing.B) {
+	runResult(b, bench.RunFig1)
+}
+
+// BenchmarkRelatedAPIs is E7: strawman vs ARMCI vs GASNet on the
+// operations each supports (Section VI).
+func BenchmarkRelatedAPIs(b *testing.B) {
+	runResult(b, bench.RunE7)
+}
+
+// BenchmarkDatatypes is E9: contiguous vs vector vs indexed layouts and a
+// big-endian target.
+func BenchmarkDatatypes(b *testing.B) {
+	runResult(b, bench.RunE9)
+}
+
+// BenchmarkCompletionModes is E10: per-rank Complete loop vs
+// Complete(ALL_RANKS) vs CompleteCollective.
+func BenchmarkCompletionModes(b *testing.B) {
+	runResult(b, bench.RunE10)
+}
+
+// BenchmarkSyncStrength is E11: no sync vs Order vs Complete between put
+// batches, on ordered and unordered networks.
+func BenchmarkSyncStrength(b *testing.B) {
+	runResult(b, bench.RunE11)
+}

@@ -1,0 +1,58 @@
+// Command rmabench regenerates the paper's evaluation.
+//
+// Usage:
+//
+//	rmabench                 # run every experiment, print tables
+//	rmabench -exp fig2       # one experiment
+//	rmabench -exp fig2 -csv  # CSV to stdout (for plotting)
+//	rmabench -list           # list experiment ids
+//
+// Experiment ids and what they reproduce are catalogued in DESIGN.md; the
+// measured-vs-paper comparison lives in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpi3rma/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	plot := flag.Bool("plot", false, "append an ASCII summary plot per experiment")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return
+	}
+
+	var results []bench.Result
+	if *exp == "all" {
+		results = bench.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			res, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rmabench: unknown experiment %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			results = append(results, res)
+		}
+	}
+	for _, res := range results {
+		if *csv {
+			bench.WriteCSV(os.Stdout, res)
+			continue
+		}
+		bench.WriteTable(os.Stdout, res)
+		if *plot {
+			bench.WritePlot(os.Stdout, res)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: the strawman MPI-3 RMA API in its smallest useful form.
+//
+// Four simulated ranks start. Rank 0 exposes a buffer as a target_mem
+// object (no collective window creation — requirement 1 of the paper) and
+// passes the descriptor to the others, which is the user's job in the
+// strawman model. Every other rank then writes its rank number into its
+// slot with a single-call blocking put, issues RMA_complete toward rank 0,
+// and finally rank 0 prints what its memory holds.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/runtime"
+)
+
+func main() {
+	const ranks = 4
+	world := runtime.NewWorld(runtime.Config{Ranks: ranks})
+	defer world.Close()
+
+	err := world.Run(func(p *runtime.Proc) {
+		rma := core.Attach(p, core.Options{})
+		comm := p.Comm()
+
+		if p.Rank() == 0 {
+			// Expose one byte per rank. Nothing collective happens here.
+			tm, region := rma.ExposeNew(ranks)
+			enc := tm.Encode()
+			for r := 1; r < ranks; r++ {
+				p.Send(r, 0, enc)
+			}
+			// Wait until every rank's operations are complete everywhere.
+			if err := rma.CompleteCollective(comm); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rank 0 memory after puts: %v\n", p.Mem().Snapshot(region.Offset, ranks))
+			return
+		}
+
+		// Receive the descriptor rank 0 shipped us.
+		enc, _ := p.Recv(0, 0)
+		tm, err := core.DecodeTargetMem(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// One blocking put: origin buffer, one byte, into our slot.
+		src := p.Alloc(1)
+		p.WriteLocal(src, 0, []byte{byte(p.Rank())})
+		if _, err := rma.Put(src, 1, datatype.Byte,
+			tm, p.Rank(), 1, datatype.Byte,
+			0, comm, core.AttrBlocking); err != nil {
+			log.Fatal(err)
+		}
+
+		// RMA_complete(comm, 0): all our puts are now applied at rank 0.
+		if err := rma.Complete(comm, 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := rma.CompleteCollective(comm); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rank %d: put done at virtual time %v\n", p.Rank(), p.Now())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mpi3rma
+
+go 1.22

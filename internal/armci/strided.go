@@ -1,0 +1,160 @@
+package armci
+
+import (
+	"fmt"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+)
+
+// Strided and vector operations (ARMCI_PutS / ARMCI_GetS / ARMCI_AccS and
+// ARMCI_PutV / ARMCI_GetV). ARMCI describes an N-dimensional strided
+// transfer by a block size in bytes, a per-level count, and per-level
+// byte strides for source and destination independently; a vector transfer
+// is an explicit list of (offset, length) segments.
+//
+// Both are lowered onto datatype.Indexed layouts over bytes, one for the
+// origin and one for the target — which is precisely how the strawman
+// proposal absorbs ARMCI's noncontiguous API into MPI datatypes.
+
+// StridedSpec describes one side of an N-level strided transfer.
+type StridedSpec struct {
+	// Off is the starting byte offset.
+	Off int
+	// Strides are the byte strides of each level, innermost first
+	// (len(Strides) == len(counts)).
+	Strides []int
+}
+
+// stridedLayout expands a strided description into block displacements.
+func stridedLayout(off int, blockBytes int, counts []int, strides []int) ([]int, []int, error) {
+	if len(counts) != len(strides) {
+		return nil, nil, fmt.Errorf("armci: %d counts but %d strides", len(counts), len(strides))
+	}
+	displs := []int{off}
+	for lvl := len(counts) - 1; lvl >= 0; lvl-- {
+		c, s := counts[lvl], strides[lvl]
+		if c <= 0 {
+			return nil, nil, fmt.Errorf("armci: non-positive count %d at level %d", c, lvl)
+		}
+		next := make([]int, 0, len(displs)*c)
+		for _, d := range displs {
+			for i := 0; i < c; i++ {
+				next = append(next, d+i*s)
+			}
+		}
+		displs = next
+	}
+	blocklens := make([]int, len(displs))
+	for i := range blocklens {
+		blocklens[i] = blockBytes
+	}
+	return blocklens, displs, nil
+}
+
+// PutS is ARMCI_PutS: an N-level strided put of blockBytes-byte blocks,
+// counts[i] blocks at level i, with independent source and destination
+// strides. Blocking and ordered.
+func (a *ARMCI) PutS(src memsim.Region, srcSpec StridedSpec, dst core.TargetMem, dstSpec StridedSpec, blockBytes int, counts []int, rank int, comm *runtime.Comm) error {
+	return a.strided(core.OpPut, 0, src, srcSpec, dst, dstSpec, blockBytes, counts, rank, comm, blockingAttrs)
+}
+
+// GetS is ARMCI_GetS: the strided get.
+func (a *ARMCI) GetS(dst memsim.Region, dstSpec StridedSpec, src core.TargetMem, srcSpec StridedSpec, blockBytes int, counts []int, rank int, comm *runtime.Comm) error {
+	return a.strided(core.OpGet, 0, dst, dstSpec, src, srcSpec, blockBytes, counts, rank, comm, blockingAttrs)
+}
+
+// AccS is ARMCI_AccS: the strided daxpy accumulate over float64 blocks
+// (blockBytes must be a multiple of 8). Serialized.
+func (a *ARMCI) AccS(scale float64, src memsim.Region, srcSpec StridedSpec, dst core.TargetMem, dstSpec StridedSpec, blockBytes int, counts []int, rank int, comm *runtime.Comm) error {
+	if blockBytes%8 != 0 {
+		return fmt.Errorf("armci: AccS block of %d bytes is not a whole number of float64 elements", blockBytes)
+	}
+	return a.strided(core.OpAccumulate, scale, src, srcSpec, dst, dstSpec, blockBytes, counts, rank, comm, blockingAttrs|core.AttrAtomic)
+}
+
+func (a *ARMCI) strided(op core.OpType, scale float64, local memsim.Region, localSpec StridedSpec, remote core.TargetMem, remoteSpec StridedSpec, blockBytes int, counts []int, rank int, comm *runtime.Comm, attrs core.Attr) error {
+	ldt, _, err := a.sideType(op, localSpec, blockBytes, counts)
+	if err != nil {
+		return err
+	}
+	rdt, _, err := a.sideType(op, remoteSpec, blockBytes, counts)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case core.OpPut:
+		_, err = a.eng.Put(local, 1, ldt, remote, 0, 1, rdt, rank, comm, attrs)
+	case core.OpGet:
+		_, err = a.eng.Get(local, 1, ldt, remote, 0, 1, rdt, rank, comm, attrs)
+	case core.OpAccumulate:
+		_, err = a.eng.AccumulateAxpy(scale, local, 1, ldt, remote, 0, 1, rdt, rank, comm, attrs)
+	}
+	return err
+}
+
+// sideType builds one side's layout; accumulate sides are float64-typed so
+// the daxpy combine sees elements, others are plain bytes.
+func (a *ARMCI) sideType(op core.OpType, spec StridedSpec, blockBytes int, counts []int) (datatype.Type, int, error) {
+	blocklens, displs, err := stridedLayout(spec.Off, blockBytes, counts, spec.Strides)
+	if err != nil {
+		return nil, 0, err
+	}
+	if op == core.OpAccumulate {
+		elems := make([]int, len(blocklens))
+		elemDispls := make([]int, len(displs))
+		for i := range blocklens {
+			if blocklens[i]%8 != 0 || displs[i]%8 != 0 {
+				return nil, 0, fmt.Errorf("armci: accumulate layout not float64-aligned (block %d bytes at offset %d)", blocklens[i], displs[i])
+			}
+			elems[i] = blocklens[i] / 8
+			elemDispls[i] = displs[i] / 8
+		}
+		return datatype.Indexed(elems, elemDispls, datatype.Float64), 0, nil
+	}
+	return datatype.Indexed(blocklens, displs, datatype.Byte), 0, nil
+}
+
+// Segment is one (offset, length) piece of a vector operation.
+type Segment struct {
+	Off, Len int
+}
+
+// vectorType lowers a segment list to an Indexed byte layout.
+func vectorType(segs []Segment) (datatype.Type, int) {
+	blocklens := make([]int, len(segs))
+	displs := make([]int, len(segs))
+	total := 0
+	for i, s := range segs {
+		blocklens[i] = s.Len
+		displs[i] = s.Off
+		total += s.Len
+	}
+	return datatype.Indexed(blocklens, displs, datatype.Byte), total
+}
+
+// PutV is ARMCI_PutV: scatter the source segments into the destination
+// segments (total lengths must match). Blocking and ordered.
+func (a *ARMCI) PutV(src memsim.Region, srcSegs []Segment, dst core.TargetMem, dstSegs []Segment, rank int, comm *runtime.Comm) error {
+	sdt, sn := vectorType(srcSegs)
+	ddt, dn := vectorType(dstSegs)
+	if sn != dn {
+		return fmt.Errorf("armci: PutV source carries %d bytes but destination expects %d", sn, dn)
+	}
+	_, err := a.eng.Put(src, 1, sdt, dst, 0, 1, ddt, rank, comm, blockingAttrs)
+	return err
+}
+
+// GetV is ARMCI_GetV: gather the source segments of the remote memory into
+// the local destination segments.
+func (a *ARMCI) GetV(dst memsim.Region, dstSegs []Segment, src core.TargetMem, srcSegs []Segment, rank int, comm *runtime.Comm) error {
+	ddt, dn := vectorType(dstSegs)
+	sdt, sn := vectorType(srcSegs)
+	if sn != dn {
+		return fmt.Errorf("armci: GetV source carries %d bytes but destination expects %d", sn, dn)
+	}
+	_, err := a.eng.Get(dst, 1, ddt, src, 0, 1, sdt, rank, comm, blockingAttrs)
+	return err
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpi3rma/internal/datatype"
+)
+
+// depositPut scatters canonical wire data into target memory at base,
+// laid out as tcount instances of tdt in the target's byte order. Each
+// contiguous segment is written separately so holes in the layout are
+// untouched. On a non-cache-coherent target the deposit lands in main
+// memory and the owner must Fence/Invalidate before reading it locally —
+// memsim models that, the protocol does not hide it (Section III-B2).
+func (e *Engine) depositPut(base int, wire []byte, tcount int, tdt datatype.Type) error {
+	if want := datatype.PackedSize(tcount, tdt); len(wire) != want {
+		return fmt.Errorf("core: put carries %d wire bytes, layout needs %d", len(wire), want)
+	}
+	mem := e.proc.Mem()
+	order := e.proc.ByteOrder()
+	pos := 0
+	ext := tdt.Extent()
+	var depositErr error
+	for i := 0; i < tcount; i++ {
+		at := base + i*ext
+		datatype.Walk(tdt, func(off, n int, k datatype.Kind) {
+			if depositErr != nil {
+				return
+			}
+			w := k.Width()
+			seg := wire[pos : pos+n*w]
+			pos += n * w
+			if order == datatype.BigEndian && w > 1 {
+				swapped := make([]byte, len(seg))
+				swapElems(swapped, seg, w)
+				seg = swapped
+			}
+			if err := mem.RemoteWrite(at+off, seg); err != nil {
+				depositErr = err
+			}
+		})
+		if depositErr != nil {
+			return depositErr
+		}
+	}
+	return nil
+}
+
+// gather reads tcount instances of tdt from target memory at base and
+// packs them into canonical wire format.
+func (e *Engine) gather(base int, tcount int, tdt datatype.Type) ([]byte, error) {
+	mem := e.proc.Mem()
+	order := e.proc.ByteOrder()
+	extent := datatype.ExtentOf(tcount, tdt)
+	snap := make([]byte, extent)
+	if err := mem.RemoteRead(base, snap); err != nil {
+		return nil, err
+	}
+	wire := make([]byte, datatype.PackedSize(tcount, tdt))
+	if err := datatype.PackInto(wire, snap, tcount, tdt, order); err != nil {
+		return nil, err
+	}
+	return wire, nil
+}
+
+// depositAcc combines canonical wire data into target memory elementwise
+// with op. Each contiguous segment is updated under the memory lock, so
+// elementwise updates are atomic per segment regardless of the operation's
+// atomicity attribute (MPI-2 accumulate granularity); whole-operation
+// atomicity is the serializer's job.
+func (e *Engine) depositAcc(base int, wire []byte, tcount int, tdt datatype.Type, op AccOp, scale float64) error {
+	if want := datatype.PackedSize(tcount, tdt); len(wire) != want {
+		return fmt.Errorf("core: accumulate carries %d wire bytes, layout needs %d", len(wire), want)
+	}
+	mem := e.proc.Mem()
+	order := e.proc.ByteOrder()
+	pos := 0
+	ext := tdt.Extent()
+	var accErr error
+	for i := 0; i < tcount; i++ {
+		at := base + i*ext
+		datatype.Walk(tdt, func(off, n int, k datatype.Kind) {
+			if accErr != nil {
+				return
+			}
+			w := k.Width()
+			seg := wire[pos : pos+n*w]
+			pos += n * w
+			err := mem.Update(at+off, n*w, func(cur []byte) {
+				combineSegment(cur, seg, k, order, op, scale)
+			})
+			if err != nil {
+				accErr = err
+			}
+		})
+		if accErr != nil {
+			return accErr
+		}
+	}
+	return nil
+}
+
+// swapElems copies src to dst reversing each w-wide element's bytes.
+func swapElems(dst, src []byte, w int) {
+	for i := 0; i < len(src); i += w {
+		for j := 0; j < w; j++ {
+			dst[i+j] = src[i+w-1-j]
+		}
+	}
+}
+
+// loadElem reads the element at buf in the given byte order as raw bits.
+func loadElem(buf []byte, w int, order datatype.ByteOrder) uint64 {
+	var v uint64
+	if order == datatype.BigEndian {
+		for _, b := range buf[:w] {
+			v = v<<8 | uint64(b)
+		}
+		return v
+	}
+	switch w {
+	case 1:
+		return uint64(buf[0])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf))
+	default:
+		return binary.LittleEndian.Uint64(buf)
+	}
+}
+
+// storeElem writes raw bits of width w at buf in the given byte order.
+func storeElem(buf []byte, w int, order datatype.ByteOrder, v uint64) {
+	if order == datatype.BigEndian {
+		for i := w - 1; i >= 0; i-- {
+			buf[i] = byte(v)
+			v >>= 8
+		}
+		return
+	}
+	switch w {
+	case 1:
+		buf[0] = byte(v)
+	case 4:
+		binary.LittleEndian.PutUint32(buf, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(buf, v)
+	}
+}
+
+// combineSegment applies op elementwise: cur (target order) op= seg
+// (canonical little-endian), writing results back into cur in target
+// order.
+func combineSegment(cur, seg []byte, k datatype.Kind, order datatype.ByteOrder, op AccOp, scale float64) {
+	w := k.Width()
+	for i := 0; i+w <= len(cur); i += w {
+		c := loadElem(cur[i:], w, order)
+		s := loadElem(seg[i:], w, datatype.LittleEndian)
+		storeElem(cur[i:], w, order, combineElem(k, op, c, s, scale))
+	}
+}
+
+// combineElem combines raw element bits c (current) and s (incoming)
+// under op for kind k, returning the new raw bits.
+func combineElem(k datatype.Kind, op AccOp, c, s uint64, scale float64) uint64 {
+	if op == AccReplace || op == AccNone {
+		return s
+	}
+	switch k {
+	case datatype.KByte:
+		a, b := uint8(c), uint8(s)
+		switch op {
+		case AccSum:
+			return uint64(a + b)
+		case AccMin:
+			if b < a {
+				return uint64(b)
+			}
+			return uint64(a)
+		case AccMax:
+			if b > a {
+				return uint64(b)
+			}
+			return uint64(a)
+		}
+	case datatype.KInt32:
+		a, b := int32(uint32(c)), int32(uint32(s))
+		var r int32
+		switch op {
+		case AccSum:
+			r = a + b
+		case AccProd:
+			r = a * b
+		case AccMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		case AccMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		}
+		return uint64(uint32(r))
+	case datatype.KInt64:
+		a, b := int64(c), int64(s)
+		var r int64
+		switch op {
+		case AccSum:
+			r = a + b
+		case AccProd:
+			r = a * b
+		case AccMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		case AccMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		}
+		return uint64(r)
+	case datatype.KFloat32:
+		a, b := math.Float32frombits(uint32(c)), math.Float32frombits(uint32(s))
+		var r float32
+		switch op {
+		case AccSum:
+			r = a + b
+		case AccProd:
+			r = a * b
+		case AccMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		case AccMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		case AccAxpy:
+			r = a + float32(scale)*b
+		}
+		return uint64(math.Float32bits(r))
+	case datatype.KFloat64:
+		a, b := math.Float64frombits(c), math.Float64frombits(s)
+		var r float64
+		switch op {
+		case AccSum:
+			r = a + b
+		case AccProd:
+			r = a * b
+		case AccMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		case AccMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		case AccAxpy:
+			r = a + scale*b
+		}
+		return uint64(math.Float64bits(r))
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpi3rma/internal/runtime"
+)
+
+// Complete blocks until every operation previously issued by this rank to
+// trank (a rank of comm, or AllRanks for all of them) has been applied at
+// the target — the paper's MPI_RMA_complete. It is the strong
+// synchronization operation: afterwards, remote completion of all covered
+// operations is guaranteed, whether or not they set AttrRemoteComplete.
+//
+// The implementation sends one completion probe per target carrying the
+// count of operations issued to it; the target replies once its applied
+// count reaches that threshold. On an ordered network the probe could ride
+// behind the stream for free, but the reply round trip is still what
+// detects *application* (not mere delivery), so a probe exchange is used
+// uniformly.
+func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
+	e.Progress()
+	targets, err := e.resolveTargets(comm, trank)
+	if err != nil {
+		return err
+	}
+	reqs := make([]*Request, 0, len(targets))
+	for _, world := range targets {
+		e.mu.Lock()
+		sent := e.targetLocked(world).sent
+		e.mu.Unlock()
+		if sent == 0 {
+			continue
+		}
+		reqs = append(reqs, e.sendProbe(world, sent))
+	}
+	WaitAll(reqs...)
+	return nil
+}
+
+// CompleteCollective is the collective form (MPI_RMA_complete_collective):
+// every member of comm calls it; on return, every operation issued by any
+// member to any member has been applied.
+//
+// This is where the paper's "additional implementation optimizations with
+// prior knowledge of the participation of remote processes" materialize:
+// instead of every rank probing every target (O(n²) round trips, what
+// Complete(AllRanks) must do without that knowledge), the members
+// exchange their per-target issue counts in one collective, each rank
+// waits *locally* until it has applied everything addressed to it, and a
+// barrier publishes global completion — O(n log n) messages total.
+func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
+	e.Progress()
+	n := comm.Size()
+	me := comm.Rank()
+	members := comm.Ranks()
+
+	// Exchange the sent-counts matrix: row r = how many ops member r has
+	// issued to each member.
+	mine := make([]byte, 8*n)
+	e.mu.Lock()
+	for j, world := range members {
+		if ts := e.targets[world]; ts != nil {
+			binary.LittleEndian.PutUint64(mine[8*j:], uint64(ts.sent))
+		}
+	}
+	e.mu.Unlock()
+	rows := comm.Gather(0, mine)
+	var flat []byte
+	if me == 0 {
+		for _, row := range rows {
+			flat = append(flat, row...)
+		}
+	}
+	flat = comm.Bcast(0, flat)
+	if len(flat) != 8*n*n {
+		return fmt.Errorf("core: collective completion exchanged %d bytes, want %d", len(flat), 8*n*n)
+	}
+
+	// Expected inbound at this rank = column `me` of the matrix.
+	var expected int64
+	for r := 0; r < n; r++ {
+		expected += int64(binary.LittleEndian.Uint64(flat[8*(r*n+me):]))
+	}
+
+	// Wait locally for everything addressed to us, then barrier so every
+	// member's wait has finished before anyone proceeds.
+	at := e.waitAppliedFrom(members, expected)
+	e.proc.NIC().CPU().AdvanceTo(at)
+	comm.Barrier()
+	return nil
+}
+
+// Order guarantees that every operation issued to trank (or AllRanks)
+// before the call is applied before any operation issued after it — the
+// paper's MPI_RMA_order, the shmem_fence-style weak synchronization. On a
+// network that preserves ordering it costs nothing (Figure 2's overlapping
+// lines); otherwise the next operation to each covered target first stalls
+// until the target confirms the earlier operations, the "slight penalty"
+// of Section III-B.
+func (e *Engine) Order(comm *runtime.Comm, trank int) error {
+	e.Progress()
+	if e.proc.NIC().Endpoint().Ordered() {
+		return nil // the network orders per-pair traffic already
+	}
+	targets, err := e.resolveTargets(comm, trank)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for _, world := range targets {
+		ts := e.targetLocked(world)
+		if ts.sent > 0 {
+			ts.fencePending = true
+		}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// OrderCollective is the collective form of Order.
+func (e *Engine) OrderCollective(comm *runtime.Comm) error {
+	if err := e.Order(comm, AllRanks); err != nil {
+		return err
+	}
+	comm.Barrier()
+	return nil
+}
+
+// resolveTargets expands trank/AllRanks into world ranks.
+func (e *Engine) resolveTargets(comm *runtime.Comm, trank int) ([]int, error) {
+	if trank == AllRanks {
+		return comm.Ranks(), nil
+	}
+	if trank < 0 || trank >= comm.Size() {
+		return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d", trank, comm.Size())
+	}
+	return []int{comm.WorldRank(trank)}, nil
+}
+
+// sendProbe issues a completion probe to a world rank and returns the
+// request its reply completes.
+func (e *Engine) sendProbe(world int, threshold int64) *Request {
+	req := e.newRequest()
+	m := newMsg(world, kProbe)
+	m.Hdr[hHandle] = uint64(threshold)
+	m.Hdr[hReq] = req.id
+	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
+		panic(err)
+	}
+	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
+	return req
+}
+
+// maybeFence enforces a pending Order() before the next operation to
+// world: the issue stalls until the target confirms application of all
+// earlier operations. Called from the issue path with no locks held.
+func (e *Engine) maybeFence(comm *runtime.Comm, world int) {
+	e.mu.Lock()
+	ts := e.targetLocked(world)
+	pending := ts.fencePending
+	sent := ts.sent
+	if pending {
+		ts.fencePending = false
+	}
+	e.mu.Unlock()
+	if !pending || sent == 0 {
+		return
+	}
+	e.FenceStalls.Inc()
+	e.sendProbe(world, sent).Wait()
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	gort "runtime"
+	"sync"
+	"time"
+
+	"mpi3rma/internal/portals"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/serializer"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/trace"
+	"mpi3rma/internal/vtime"
+)
+
+// Message kinds of the strawman RMA protocol.
+const (
+	kPut       = portals.KindCoreBase + 0  // put / accumulate (AccOp in header)
+	kGet       = portals.KindCoreBase + 1  // get request
+	kGetReply  = portals.KindCoreBase + 2  // get data
+	kAck       = portals.KindCoreBase + 3  // remote-completion acknowledgement
+	kProbe     = portals.KindCoreBase + 4  // completion probe (RMA_complete)
+	kProbeAck  = portals.KindCoreBase + 5  // completion probe reply
+	kLockReq   = portals.KindCoreBase + 6  // coarse-grain lock request
+	kLockGrant = portals.KindCoreBase + 7  // coarse-grain lock grant
+	kLockRel   = portals.KindCoreBase + 8  // coarse-grain lock release
+	kRMW       = portals.KindCoreBase + 9  // fetch-and-add / compare-and-swap
+	kRMWReply  = portals.KindCoreBase + 10 // RMW old value
+	kAM        = portals.KindCoreBase + 11 // active-message extension
+)
+
+// Header word indices shared by the protocol messages.
+const (
+	hHandle = 0 // target_mem handle (kPut/kGet/kRMW); expected count (kProbe); AM id (kAM)
+	hDisp   = 1 // byte displacement into the target memory
+	hCount  = 2 // target datatype count
+	hMeta   = 3 // attrs (low 16) | AccOp<<16 | RMW sub-op<<24
+	hReq    = 4 // origin request id (routing for replies)
+	hSeq    = 5 // ordered-stream sequence number (0 = not ordered)
+)
+
+// Message flag bits (simnet.Message.Flags) for core kinds.
+const (
+	flagUnlockAfter = 1 << 0 // release the coarse lock after applying this op
+)
+
+// RMW sub-ops carried in hMeta bits 24..31.
+const (
+	rmwFetchAdd = 1
+	rmwCompSwap = 2
+)
+
+// Options configures a rank's RMA engine.
+type Options struct {
+	// Atomicity selects the serializer mechanism backing the Atomic
+	// attribute (default MechThread, the cheap case of Figure 2).
+	Atomicity serializer.Mechanism
+	// ApplyOverhead is the fixed virtual-time cost of one target memory
+	// update (0 = DefaultApplyOverhead).
+	ApplyOverhead time.Duration
+	// ApplyPerKB is the virtual-time cost of updating 1024 bytes of
+	// target memory (0 = DefaultApplyPerKB).
+	ApplyPerKB time.Duration
+	// ProgressQuantum models, for the MechProgress serializer, how often
+	// the target enters the library: deferred atomic operations apply at
+	// the next multiple of the quantum after they arrive (0 = the target
+	// polls continuously).
+	ProgressQuantum time.Duration
+	// DefaultAttrs is ORed into the attributes of every operation issued
+	// by this rank (the engine-level default).
+	DefaultAttrs Attr
+	// AddrBits is this rank's address-space width, 32 or 64 (0 = 64).
+	AddrBits uint8
+}
+
+func (o Options) withDefaults() Options {
+	if o.ApplyOverhead == 0 {
+		o.ApplyOverhead = DefaultApplyOverhead
+	}
+	if o.ApplyPerKB == 0 {
+		o.ApplyPerKB = DefaultApplyPerKB
+	}
+	if o.AddrBits == 0 {
+		o.AddrBits = 64
+	}
+	return o
+}
+
+// originTarget is origin-side per-target bookkeeping.
+type originTarget struct {
+	sent         int64  // ops issued to this target (puts, accumulates, gets, RMWs, AMs)
+	orderSeq     uint64 // ordered-stream sequence for AttrOrdering on unordered networks
+	fencePending bool   // an Order() is pending; next op must stall for drain
+}
+
+// probeWaiter is a queued completion probe at the target.
+type probeWaiter struct {
+	origin    int
+	threshold int64
+	reqID     uint64
+}
+
+// reorderBuf holds ordered-stream ops that arrived out of order.
+type reorderBuf struct {
+	expected uint64                         // next sequence number to apply
+	held     map[uint64]func(at vtime.Time) // seq -> deferred processing
+	heldAt   map[uint64]vtime.Time
+}
+
+// Engine is one rank's strawman RMA engine. Obtain it with Attach; there
+// is exactly one per rank (it owns the rank's core message handlers).
+type Engine struct {
+	proc *runtime.Proc
+	opts Options
+
+	mu      sync.Mutex
+	tmems   map[uint64]*exposure
+	tmemSeq uint64
+	reqs    map[uint64]*Request
+	reqSeq  uint64
+	targets map[int]*originTarget
+	comms   map[uint64]Attr // per-communicator default attributes
+
+	// Target-side state, guarded by tgtMu because applies may run on the
+	// NIC agent, the thread serializer, or a Progress call. tgtCond wakes
+	// local waiters (the collective-completion fast path).
+	tgtMu        sync.Mutex
+	tgtCond      *sync.Cond
+	lastApplied  vtime.Time
+	applied      map[int]int64
+	probeWaiters []probeWaiter
+	reorder      map[int]*reorderBuf
+	lanes        map[int]*vtime.Clock
+	atomicLane   vtime.Clock
+
+	lock      *serializer.LockState
+	applyQ    *serializer.ApplyQueue
+	progQ     *serializer.ProgressQueue
+	closeOnce sync.Once
+
+	amMu sync.Mutex
+	am   map[uint64]AMHandler
+
+	// depositHook, if set, observes every put/accumulate deposited into
+	// this rank's memory (after application). Layers above use it for
+	// diagnostics such as the MPI-2 overlapping-access checker.
+	hookMu      sync.Mutex
+	depositHook func(src int, handle uint64, disp, length int)
+
+	// tracer, if set, records protocol events (issue/apply/probe/...);
+	// a nil ring discards. Swapped atomically under hookMu.
+	tracer *trace.Ring
+
+	// Counters.
+	OpsIssued   stats.Counter
+	OpsApplied  stats.Counter
+	AcksSent    stats.Counter
+	Probes      stats.Counter
+	HeldOps     stats.Counter // ordered ops buffered due to out-of-order arrival
+	FenceStalls stats.Counter // Order()-induced stalls before an op issue
+}
+
+// gosched yields to let agent and serializer goroutines run between
+// progress polls.
+func gosched() { gort.Gosched() }
+
+// extKey is the Proc extension slot the engine lives in.
+const extKey = "core.rma"
+
+// Attach returns the rank's RMA engine, creating it (and registering the
+// protocol handlers) on first use. Options are honoured only by the
+// creating call; later calls return the existing engine unchanged.
+func Attach(p *runtime.Proc, opts Options) *Engine {
+	return p.Ext(extKey, func() any {
+		e := &Engine{
+			proc:    p,
+			opts:    opts.withDefaults(),
+			tmems:   make(map[uint64]*exposure),
+			reqs:    make(map[uint64]*Request),
+			targets: make(map[int]*originTarget),
+			comms:   make(map[uint64]Attr),
+			applied: make(map[int]int64),
+			reorder: make(map[int]*reorderBuf),
+			lanes:   make(map[int]*vtime.Clock),
+			lock:    serializer.NewLockState(),
+			am:      make(map[uint64]AMHandler),
+		}
+		e.tgtCond = sync.NewCond(&e.tgtMu)
+		switch e.opts.Atomicity {
+		case serializer.MechThread:
+			e.applyQ = serializer.NewApplyQueue()
+		case serializer.MechProgress:
+			e.progQ = serializer.NewProgressQueue(e.opts.ProgressQuantum)
+		}
+		nic := p.NIC()
+		nic.RegisterHandler(kPut, e.handlePut)
+		nic.RegisterHandler(kGet, e.handleGet)
+		nic.RegisterHandler(kGetReply, e.handleGetReply)
+		nic.RegisterHandler(kAck, e.handleAck)
+		nic.RegisterHandler(kProbe, e.handleProbe)
+		nic.RegisterHandler(kProbeAck, e.handleProbeAck)
+		nic.RegisterHandler(kLockReq, e.handleLockReq)
+		nic.RegisterHandler(kLockGrant, e.handleLockGrant)
+		nic.RegisterHandler(kLockRel, e.handleLockRel)
+		nic.RegisterHandler(kRMW, e.handleRMW)
+		nic.RegisterHandler(kRMWReply, e.handleRMWReply)
+		nic.RegisterHandler(kAM, e.handleAM)
+		return e
+	}).(*Engine)
+}
+
+// Proc returns the owning process.
+func (e *Engine) Proc() *runtime.Proc { return e.proc }
+
+// Mechanism returns the serializer mechanism backing the Atomic attribute.
+func (e *Engine) Mechanism() serializer.Mechanism { return e.opts.Atomicity }
+
+// SetCommAttrs sets default attributes for every operation this rank
+// issues on comm (the paper's communicator-level attribute setting). The
+// effective attributes of an operation are the union of the per-call
+// attributes, the communicator default, and the engine default.
+func (e *Engine) SetCommAttrs(comm *runtime.Comm, attrs Attr) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.comms[comm.ID()] = attrs
+}
+
+// effectiveAttrs folds the per-call attributes with the communicator and
+// engine defaults.
+func (e *Engine) effectiveAttrs(comm *runtime.Comm, attrs Attr) Attr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return attrs | e.comms[comm.ID()] | e.opts.DefaultAttrs
+}
+
+// target returns (creating if needed) the origin-side state for a world
+// rank. Caller must hold e.mu.
+func (e *Engine) targetLocked(world int) *originTarget {
+	t := e.targets[world]
+	if t == nil {
+		t = &originTarget{}
+		e.targets[world] = t
+	}
+	return t
+}
+
+// laneFor returns the per-origin apply lane for non-atomic updates.
+// Caller must hold e.tgtMu.
+func (e *Engine) laneForLocked(src int) *vtime.Clock {
+	l := e.lanes[src]
+	if l == nil {
+		l = &vtime.Clock{}
+		e.lanes[src] = l
+	}
+	return l
+}
+
+// applyCost models the virtual time of depositing n payload bytes.
+func (e *Engine) applyCost(n int) time.Duration {
+	return e.opts.ApplyOverhead + time.Duration(int64(n)*int64(e.opts.ApplyPerKB)/1024)
+}
+
+// Close shuts down the engine's serializer goroutine, if any. World.Close
+// invokes it for every attached engine; it is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.applyQ != nil {
+			e.applyQ.Close()
+		}
+	})
+}
+
+// Progress drains atomic operations deferred by the MechProgress
+// serializer (a no-op under other mechanisms) and returns how many were
+// applied. Every library entry point of the owning rank implicitly makes
+// progress, mirroring MPI's progress rule.
+func (e *Engine) Progress() int {
+	if e.progQ == nil {
+		return 0
+	}
+	return e.progQ.Progress(e.proc.Now())
+}
+
+// opDone is shared post-apply bookkeeping: count the op, wake satisfied
+// completion probes. It runs with tgtMu held via noteApplied.
+func (e *Engine) noteApplied(src int, at vtime.Time) {
+	e.OpsApplied.Inc()
+	e.tgtMu.Lock()
+	e.applied[src]++
+	count := e.applied[src]
+	if at > e.lastApplied {
+		e.lastApplied = at
+	}
+	var ready []probeWaiter
+	rest := e.probeWaiters[:0]
+	for _, w := range e.probeWaiters {
+		if w.origin == src && count >= w.threshold {
+			ready = append(ready, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	e.probeWaiters = rest
+	e.tgtCond.Broadcast()
+	e.tgtMu.Unlock()
+	for _, w := range ready {
+		e.sendProbeAck(w, at)
+	}
+}
+
+// waitAppliedFrom blocks until the total applied count from the given
+// world ranks reaches expected, returning the virtual time of the last
+// application. The collective-completion fast path uses it in place of
+// per-origin probe round trips. Under the progress serializer the waiter
+// must drain its own deferred queue (it is inside the library, so it IS
+// the progress engine).
+func (e *Engine) waitAppliedFrom(origins []int, expected int64) vtime.Time {
+	for {
+		e.tgtMu.Lock()
+		var total int64
+		for _, o := range origins {
+			total += e.applied[o]
+		}
+		if total >= expected {
+			at := e.lastApplied
+			e.tgtMu.Unlock()
+			return at
+		}
+		if e.progQ == nil {
+			e.tgtCond.Wait()
+			e.tgtMu.Unlock()
+			continue
+		}
+		e.tgtMu.Unlock()
+		e.Progress()
+		gosched()
+	}
+}
+
+// SetTracer installs (or clears, with nil) a protocol event recorder.
+func (e *Engine) SetTracer(r *trace.Ring) {
+	e.hookMu.Lock()
+	e.tracer = r
+	e.hookMu.Unlock()
+}
+
+// tr returns the current tracer (possibly nil — trace.Ring methods accept
+// a nil receiver).
+func (e *Engine) tr() *trace.Ring {
+	e.hookMu.Lock()
+	defer e.hookMu.Unlock()
+	return e.tracer
+}
+
+// SetDepositHook installs (or clears, with nil) the deposit observer.
+func (e *Engine) SetDepositHook(fn func(src int, handle uint64, disp, length int)) {
+	e.hookMu.Lock()
+	e.depositHook = fn
+	e.hookMu.Unlock()
+}
+
+// notifyDeposit invokes the deposit hook, if any.
+func (e *Engine) notifyDeposit(src int, handle uint64, disp, length int) {
+	e.hookMu.Lock()
+	fn := e.depositHook
+	e.hookMu.Unlock()
+	if fn != nil {
+		fn(src, handle, disp, length)
+	}
+}
+
+// sendReply ships a handler-generated protocol reply. A failed send can
+// only mean the world is shutting down (the network refuses senders after
+// close); the reply is dropped and counted rather than crashing the
+// serializer or agent goroutine that carries it.
+func (e *Engine) sendReply(at vtime.Time, m *simnet.Message) {
+	if _, err := e.proc.NIC().Send(at, m); err != nil {
+		e.proc.NIC().BadReq.Inc()
+	}
+}
+
+// sendReplyNIC is sendReply through the NIC-generated (hardware) path.
+func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
+	if _, err := e.proc.NIC().Endpoint().SendNIC(at, m); err != nil {
+		e.proc.NIC().BadReq.Inc()
+	}
+}
+
+// sendProbeAck answers a completion probe at virtual time at.
+func (e *Engine) sendProbeAck(w probeWaiter, at vtime.Time) {
+	m := newMsg(w.origin, kProbeAck)
+	m.Hdr[hReq] = w.reqID
+	e.sendReply(at, m)
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/runtime"
+)
+
+// Example reproduces the paper's minimal usage: rank 0 exposes memory
+// (non-collectively), ships the target_mem descriptor, and the origin
+// performs a single-call blocking put followed by MPI_RMA_complete.
+func Example() {
+	world := runtime.NewWorld(runtime.Config{Ranks: 2})
+	defer world.Close()
+
+	_ = world.Run(func(p *runtime.Proc) {
+		rma := core.Attach(p, core.Options{})
+		comm := p.Comm()
+
+		if p.Rank() == 0 {
+			tm, region := rma.ExposeNew(8)
+			p.Send(1, 0, tm.Encode())
+			p.Recv(1, 1) // origin says it completed
+			fmt.Printf("target memory: %v\n", p.Mem().Snapshot(region.Offset, 8))
+			return
+		}
+
+		enc, _ := p.Recv(0, 0)
+		tm, _ := core.DecodeTargetMem(enc)
+		src := p.Alloc(8)
+		p.WriteLocal(src, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		rma.Put(src, 8, datatype.Byte, tm, 0, 8, datatype.Byte, 0, comm, core.AttrBlocking)
+		rma.Complete(comm, 0)
+		p.Send(0, 1, nil)
+	})
+	// Output:
+	// target memory: [1 2 3 4 5 6 7 8]
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"mpi3rma/internal/datatype"
+)
+
+// FuzzDecodeTargetMem hardens the descriptor codec: no panics, and
+// successful decodes re-encode identically (descriptors travel between
+// ranks as user payload).
+func FuzzDecodeTargetMem(f *testing.F) {
+	f.Add(TargetMem{Owner: 0, Handle: 1, Size: 64, AddrBits: 64, Order: datatype.LittleEndian}.Encode())
+	f.Add(TargetMem{Owner: 3, Handle: 99, Size: 1 << 20, AddrBits: 32, Order: datatype.BigEndian}.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, encodedTargetMemLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tm, err := DecodeTargetMem(data)
+		if err != nil {
+			return
+		}
+		if !tm.Valid() {
+			t.Fatalf("decoder accepted an invalid descriptor: %+v", tm)
+		}
+		rt, err := DecodeTargetMem(tm.Encode())
+		if err != nil || rt != tm {
+			t.Fatalf("round trip changed the descriptor: %+v -> %+v (%v)", tm, rt, err)
+		}
+	})
+}
+
+// FuzzPutPayloadFrame hardens the put-body framing parser that every
+// incoming put runs through.
+func FuzzPutPayloadFrame(f *testing.F) {
+	f.Add(putPayload(datatype.Contiguous(4, datatype.Int64), AccNone, 0, make([]byte, 32)))
+	f.Add(putPayload(datatype.Float64, AccAxpy, 2.5, make([]byte, 8)))
+	f.Add([]byte{0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dt, rest, err := parseTypeFrame(data)
+		if err != nil {
+			return
+		}
+		if dt == nil {
+			t.Fatal("nil type without error")
+		}
+		if len(rest) > len(data) {
+			t.Fatal("rest longer than input")
+		}
+	})
+}

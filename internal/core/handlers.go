@@ -1,0 +1,249 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/serializer"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// heldOp is an ordered-stream operation waiting for its predecessors.
+type heldOp struct {
+	at vtime.Time
+	fn func(at vtime.Time)
+}
+
+// gateOrdered runs process immediately for unordered operations (seq 0)
+// and otherwise enforces the per-origin ordered stream: out-of-order
+// arrivals are buffered until every predecessor has been processed — the
+// "counter for messages" software support the paper prescribes for
+// networks that do not order messages themselves.
+func (e *Engine) gateOrdered(src int, seq uint64, at vtime.Time, process func(at vtime.Time)) {
+	if seq == 0 {
+		process(at)
+		return
+	}
+	e.tgtMu.Lock()
+	rb := e.reorder[src]
+	if rb == nil {
+		rb = &reorderBuf{held: make(map[uint64]func(at vtime.Time)), heldAt: make(map[uint64]vtime.Time)}
+		e.reorder[src] = rb
+	}
+	if seq != rb.expected+1 {
+		rb.held[seq] = process
+		rb.heldAt[seq] = at
+		e.tgtMu.Unlock()
+		e.HeldOps.Inc()
+		return
+	}
+	// This op is next; it may release a run of held successors.
+	type run struct {
+		at vtime.Time
+		fn func(at vtime.Time)
+	}
+	ready := []run{{at, process}}
+	rb.expected = seq
+	for {
+		fn, ok := rb.held[rb.expected+1]
+		if !ok {
+			break
+		}
+		rb.expected++
+		ready = append(ready, run{rb.heldAt[rb.expected], fn})
+		delete(rb.held, rb.expected)
+		delete(rb.heldAt, rb.expected)
+	}
+	e.tgtMu.Unlock()
+	// A held op cannot be processed before the op that released it.
+	chain := vtime.Time(0)
+	for _, r := range ready {
+		chain = vtime.Later(chain, r.at)
+		r.fn(chain)
+	}
+}
+
+// scheduleApply routes a target memory update through the appropriate
+// serialization path and virtual-time lane.
+//
+//   - Non-atomic updates run inline on per-origin lanes: concurrent
+//     origins' deposits overlap in modelled time, as independent DMA
+//     streams would.
+//   - Atomic updates serialize on the mechanism configured at this target:
+//     the communication-thread queue, the progress queue, or (under the
+//     coarse lock, which the origin already holds) the single atomic lane.
+func (e *Engine) scheduleApply(src int, at vtime.Time, nbytes int, atomic bool, fn func(end vtime.Time)) {
+	cost := e.applyCost(nbytes)
+	if !atomic {
+		e.tgtMu.Lock()
+		lane := e.laneForLocked(src)
+		e.tgtMu.Unlock()
+		_, end := lane.Reserve(at, cost)
+		fn(end)
+		return
+	}
+	switch e.opts.Atomicity {
+	case serializer.MechThread:
+		e.applyQ.Submit(serializer.Task{Ready: at, Cost: cost, Fn: fn})
+	case serializer.MechProgress:
+		e.progQ.Submit(serializer.Task{Ready: at, Cost: cost, Fn: fn})
+	case serializer.MechCoarseLock:
+		_, end := e.atomicLane.Reserve(at, cost)
+		fn(end)
+	default:
+		_, end := e.atomicLane.Reserve(at, cost)
+		fn(end)
+	}
+}
+
+// finishApply performs the bookkeeping shared by every applied operation:
+// acknowledgement, coarse-lock release, probe accounting.
+func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vtime.Time) {
+	if attrs&AttrRemoteComplete != 0 {
+		ack := newMsg(m.Src, kAck)
+		ack.Hdr[hReq] = m.Hdr[hReq]
+		if !atomic && e.proc.NIC().HardwareAcks() {
+			// The NIC observed the deposit and acknowledges in hardware.
+			e.sendReplyNIC(end, ack)
+		} else {
+			// Software acknowledgement: atomic updates are applied by
+			// software, and some networks simply cannot report remote
+			// completion (E4) — either way the echo is CPU-injected.
+			e.sendReply(end, ack)
+		}
+		e.AcksSent.Inc()
+	}
+	if m.Flags&flagUnlockAfter != 0 {
+		e.releaseLockLocal(m.Src, end)
+	}
+	e.tr().Recordf(end, "apply", m.Src, "kind=%d bytes=%d", m.Kind, len(m.Payload))
+	e.noteApplied(m.Src, end)
+}
+
+// handlePut processes an incoming put or accumulate.
+func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
+	attrs := Attr(m.Hdr[hMeta] & 0xffff)
+	accOp := AccOp(m.Hdr[hMeta] >> 16 & 0xff)
+	atomic := attrs&AttrAtomic != 0
+	e.gateOrdered(m.Src, m.Hdr[hSeq], at, func(at vtime.Time) {
+		exp := e.lookupExposure(m.Hdr[hHandle])
+		tdt, rest, err := parseTypeFrame(m.Payload)
+		if err != nil || exp == nil {
+			// Count the op so completion probes do not deadlock, but the
+			// deposit is lost (access to unexposed memory).
+			e.proc.NIC().BadReq.Inc()
+			e.finishApply(m, attrs, atomic, at)
+			return
+		}
+		scale := 1.0
+		if accOp == AccAxpy {
+			if len(rest) < 8 {
+				e.proc.NIC().BadReq.Inc()
+				e.finishApply(m, attrs, atomic, at)
+				return
+			}
+			scale = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		wire := rest
+		tcount := int(m.Hdr[hCount])
+		disp := int(m.Hdr[hDisp])
+		e.scheduleApply(m.Src, at, len(wire), atomic, func(end vtime.Time) {
+			base := exp.region.Offset + disp
+			var err error
+			if accOp == AccNone || accOp == AccReplace {
+				err = e.depositPut(base, wire, tcount, tdt)
+			} else {
+				err = e.depositAcc(base, wire, tcount, tdt, accOp, scale)
+			}
+			if err != nil {
+				e.proc.NIC().BadReq.Inc()
+			} else {
+				e.notifyDeposit(m.Src, m.Hdr[hHandle], disp, datatype.ExtentOf(tcount, tdt))
+			}
+			e.finishApply(m, attrs, atomic, end)
+		})
+	})
+}
+
+// handleGet processes an incoming get: gather the requested layout and
+// reply with canonical wire data.
+func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
+	attrs := Attr(m.Hdr[hMeta] & 0xffff)
+	atomic := attrs&AttrAtomic != 0
+	e.gateOrdered(m.Src, m.Hdr[hSeq], at, func(at vtime.Time) {
+		exp := e.lookupExposure(m.Hdr[hHandle])
+		tdt, _, err := parseTypeFrame(m.Payload)
+		if err != nil || exp == nil {
+			e.proc.NIC().BadReq.Inc()
+			// Reply with an empty payload so the origin's request errors
+			// out rather than hanging.
+			reply := newMsg(m.Src, kGetReply)
+			reply.Hdr[hReq] = m.Hdr[hReq]
+			e.sendReply(at, reply)
+			e.finishApply(m, attrs&^AttrRemoteComplete, atomic, at)
+			return
+		}
+		tcount := int(m.Hdr[hCount])
+		disp := int(m.Hdr[hDisp])
+		nbytes := tcount * tdt.Size()
+		e.scheduleApply(m.Src, at, nbytes, atomic, func(end vtime.Time) {
+			wire, err := e.gather(exp.region.Offset+disp, tcount, tdt)
+			if err != nil {
+				e.proc.NIC().BadReq.Inc()
+				wire = nil
+			}
+			reply := newMsg(m.Src, kGetReply)
+			reply.Hdr[hReq] = m.Hdr[hReq]
+			reply.Payload = wire
+			e.sendReply(end, reply)
+			e.finishApply(m, attrs&^AttrRemoteComplete, atomic, end)
+		})
+	})
+}
+
+// handleGetReply completes a pending get at the origin.
+func (e *Engine) handleGetReply(m *simnet.Message, at vtime.Time) {
+	req := e.lookupRequest(m.Hdr[hReq])
+	if req == nil {
+		return
+	}
+	if req.onData != nil && len(m.Payload) > 0 {
+		req.onData(m.Payload, at)
+	}
+	req.complete(at, nil)
+}
+
+// handleAck completes a remote-completion request at the origin.
+func (e *Engine) handleAck(m *simnet.Message, at vtime.Time) {
+	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
+		req.complete(at, nil)
+	}
+}
+
+// handleProbe answers (or queues) a completion probe: the origin asks
+// "have you applied my first N operations yet?".
+func (e *Engine) handleProbe(m *simnet.Message, at vtime.Time) {
+	e.Probes.Inc()
+	e.tr().Recordf(at, "probe", m.Src, "threshold=%d", m.Hdr[hHandle])
+	threshold := int64(m.Hdr[hHandle])
+	w := probeWaiter{origin: m.Src, threshold: threshold, reqID: m.Hdr[hReq]}
+	e.tgtMu.Lock()
+	satisfied := e.applied[m.Src] >= threshold
+	if !satisfied {
+		e.probeWaiters = append(e.probeWaiters, w)
+	}
+	e.tgtMu.Unlock()
+	if satisfied {
+		e.sendProbeAck(w, at)
+	}
+}
+
+// handleProbeAck completes a Complete/Order stall at the origin.
+func (e *Engine) handleProbeAck(m *simnet.Message, at vtime.Time) {
+	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
+		req.complete(at, nil)
+	}
+}

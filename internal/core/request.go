@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+
+	"mpi3rma/internal/vtime"
+)
+
+// Request tracks completion of one nonblocking RMA operation (the paper's
+// request parameter, checked with MPI_Wait/MPI_Test analogues). For
+// operations without the RemoteComplete attribute the request completes
+// locally (origin buffer reusable); with it, the request completes only
+// when the operation has been applied at the target.
+type Request struct {
+	e  *Engine
+	id uint64
+
+	mu   sync.Mutex
+	done bool
+	at   vtime.Time
+	val  []byte
+	ch   chan struct{}
+
+	// onData, if set, consumes reply payload (get data) on the delivery
+	// goroutine before the request is completed.
+	onData func(wire []byte, at vtime.Time)
+}
+
+func (e *Engine) newRequest() *Request {
+	r := &Request{e: e, ch: make(chan struct{})}
+	e.mu.Lock()
+	e.reqSeq++
+	r.id = e.reqSeq
+	e.reqs[r.id] = r
+	e.mu.Unlock()
+	return r
+}
+
+// complete marks the request done at virtual time at with optional result
+// value, and removes it from the engine table. Idempotence guards against
+// protocol duplicates.
+func (r *Request) complete(at vtime.Time, val []byte) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.at = at
+	r.val = val
+	close(r.ch)
+	r.mu.Unlock()
+	r.e.mu.Lock()
+	delete(r.e.reqs, r.id)
+	r.e.mu.Unlock()
+}
+
+// Wait blocks until the operation completes, advancing the rank's virtual
+// clock to the completion time.
+func (r *Request) Wait() {
+	<-r.ch
+	r.mu.Lock()
+	at := r.at
+	r.mu.Unlock()
+	r.e.proc.NIC().CPU().AdvanceTo(at)
+}
+
+// Test reports whether the operation has completed, without blocking; when
+// it returns true the rank's virtual clock has been advanced to the
+// completion time (MPI_Test semantics).
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	done, at := r.done, r.at
+	r.mu.Unlock()
+	if done {
+		r.e.proc.NIC().CPU().AdvanceTo(at)
+	}
+	return done
+}
+
+// Done exposes the completion channel for select-based waiting.
+func (r *Request) Done() <-chan struct{} { return r.ch }
+
+// CompletedAt returns the virtual completion time (valid once done).
+func (r *Request) CompletedAt() vtime.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.at
+}
+
+// Value returns the operation's result bytes (read-modify-write old
+// values); nil for transfers. Valid once done.
+func (r *Request) Value() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// WaitAll waits for every request in reqs (nil entries are permitted and
+// skipped, so callers can mix blocking and nonblocking issue paths).
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// lookupRequest finds an outstanding request by id (nil if completed or
+// unknown).
+func (e *Engine) lookupRequest(id uint64) *Request {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reqs[id]
+}

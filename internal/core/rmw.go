@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// Read-modify-write operations (paper Section V: "Two kinds of
+// read-modify-write operations, one for conditional RMW and other for
+// unconditional RMW are being considered"). FetchAdd is the unconditional
+// form, CompareSwap the conditional one. Both operate on a single int64 at
+// a byte displacement in the target memory, are always atomic (routed
+// through the target's serializer mechanism regardless of AttrAtomic), and
+// complete when the old value returns to the origin.
+
+// FetchAdd atomically adds delta to the int64 at tm+tdisp and returns the
+// previous value. Always blocking: RMW semantics require the old value.
+func (e *Engine) FetchAdd(tm TargetMem, tdisp int, delta int64, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
+	var operand [8]byte
+	binary.LittleEndian.PutUint64(operand[:], uint64(delta))
+	return e.rmw(rmwFetchAdd, tm, tdisp, operand[:], trank, comm, attrs)
+}
+
+// CompareSwap atomically compares the int64 at tm+tdisp with compare and,
+// if equal, stores swap. It returns the previous value (the swap succeeded
+// iff the return value equals compare).
+func (e *Engine) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
+	var operand [16]byte
+	binary.LittleEndian.PutUint64(operand[0:], uint64(compare))
+	binary.LittleEndian.PutUint64(operand[8:], uint64(swap))
+	return e.rmw(rmwCompSwap, tm, tdisp, operand[:], trank, comm, attrs)
+}
+
+func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
+	if !tm.Valid() {
+		return 0, fmt.Errorf("core: invalid target_mem descriptor")
+	}
+	if w := comm.WorldRank(trank); w != tm.Owner {
+		return 0, fmt.Errorf("core: target rank %d resolves to world rank %d, but target_mem is owned by rank %d", trank, w, tm.Owner)
+	}
+	if tdisp < 0 || tdisp+8 > tm.Size {
+		return 0, fmt.Errorf("core: RMW at [%d,%d) exceeds target_mem of %d bytes", tdisp, tdisp+8, tm.Size)
+	}
+	attrs = e.effectiveAttrs(comm, attrs) | AttrAtomic
+	target := tm.Owner
+	e.Progress()
+	e.maybeFence(comm, target)
+
+	var seq uint64
+	e.mu.Lock()
+	ts := e.targetLocked(target)
+	ts.sent++
+	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
+		ts.orderSeq++
+		seq = ts.orderSeq
+	}
+	e.mu.Unlock()
+	e.OpsIssued.Inc()
+
+	req := e.newRequest()
+	m := newMsg(target, kRMW)
+	m.Hdr[hHandle] = tm.Handle
+	m.Hdr[hDisp] = uint64(tdisp)
+	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(subop)<<24
+	m.Hdr[hReq] = req.id
+	m.Hdr[hSeq] = seq
+	m.Payload = operand
+
+	if e.targetUsesCoarseLock() {
+		if err := e.acquireLock(target); err != nil {
+			return 0, err
+		}
+		m.Flags |= flagUnlockAfter
+	}
+	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
+		return 0, err
+	}
+	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
+	req.Wait()
+	val := req.Value()
+	if len(val) != 8 {
+		return 0, fmt.Errorf("core: RMW failed at the target (unexposed or out-of-range memory)")
+	}
+	return int64(binary.LittleEndian.Uint64(val)), nil
+}
+
+// handleRMW applies a fetch-add or compare-and-swap at the target and
+// replies with the old value.
+func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
+	attrs := Attr(m.Hdr[hMeta] & 0xffff)
+	subop := int(m.Hdr[hMeta] >> 24 & 0xff)
+	e.gateOrdered(m.Src, m.Hdr[hSeq], at, func(at vtime.Time) {
+		exp := e.lookupExposure(m.Hdr[hHandle])
+		disp := int(m.Hdr[hDisp])
+		bad := exp == nil || !exp.region.Contains(disp, 8) ||
+			(subop == rmwFetchAdd && len(m.Payload) != 8) ||
+			(subop == rmwCompSwap && len(m.Payload) != 16)
+		e.scheduleApply(m.Src, at, 8, true, func(end vtime.Time) {
+			var old [8]byte
+			ok := !bad
+			if ok {
+				order := e.proc.ByteOrder()
+				err := e.proc.Mem().Update(exp.region.Offset+disp, 8, func(cur []byte) {
+					prev := loadElem(cur, 8, order)
+					binary.LittleEndian.PutUint64(old[:], prev)
+					switch subop {
+					case rmwFetchAdd:
+						delta := binary.LittleEndian.Uint64(m.Payload)
+						storeElem(cur, 8, order, prev+delta)
+					case rmwCompSwap:
+						compare := binary.LittleEndian.Uint64(m.Payload[0:])
+						swap := binary.LittleEndian.Uint64(m.Payload[8:])
+						if prev == compare {
+							storeElem(cur, 8, order, swap)
+						}
+					default:
+						ok = false
+					}
+				})
+				if err != nil {
+					ok = false
+				}
+			}
+			reply := newMsg(m.Src, kRMWReply)
+			reply.Hdr[hReq] = m.Hdr[hReq]
+			if ok {
+				reply.Payload = append([]byte(nil), old[:]...)
+			} else {
+				e.proc.NIC().BadReq.Inc()
+			}
+			e.sendReply(end, reply)
+			e.finishApply(m, attrs&^AttrRemoteComplete, true, end)
+		})
+	})
+}
+
+// handleRMWReply completes a pending RMW at the origin with the old value.
+func (e *Engine) handleRMWReply(m *simnet.Message, at vtime.Time) {
+	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
+		req.complete(at, m.Payload)
+	}
+}

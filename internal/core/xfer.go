@@ -1,0 +1,279 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/serializer"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// newMsg builds a protocol message skeleton.
+func newMsg(dst int, kind uint8) *simnet.Message {
+	return &simnet.Message{Dst: dst, Kind: kind}
+}
+
+// Put transfers origin data into target memory (the paper's MPI_RMA_put).
+// origin is a region of this rank's memory holding ocount instances of
+// odt; the data lands at byte displacement tdisp of tm, laid out as tcount
+// instances of tdt. trank names the target within comm and must match
+// tm.Owner. attrs selects the operation's attributes; the communicator and
+// engine defaults are ORed in.
+//
+// Without AttrBlocking, Put returns a Request; with it, Put completes the
+// operation before returning (the returned request is already complete).
+func (e *Engine) Put(origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	return e.xfer(OpPut, AccNone, 0, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm, attrs)
+}
+
+// Get transfers target memory into origin memory (the paper's
+// MPI_RMA_get). The request completes when the data has arrived in the
+// origin region.
+func (e *Engine) Get(origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	return e.xfer(OpGet, AccNone, 0, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm, attrs)
+}
+
+// Accumulate combines origin data into target memory with op. Elementwise
+// updates are always atomic per element; set AttrAtomic for atomicity of
+// the whole operation against other atomic operations.
+func (e *Engine) Accumulate(op AccOp, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	if op == AccNone {
+		op = AccReplace
+	}
+	return e.xfer(OpAccumulate, op, 1, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm, attrs)
+}
+
+// AccumulateAxpy performs the ARMCI-style axpy accumulate:
+// target = scale*origin + target, over float64 (daxpy) or float32 (saxpy)
+// elements.
+func (e *Engine) AccumulateAxpy(scale float64, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	return e.xfer(OpAccumulate, AccAxpy, scale, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm, attrs)
+}
+
+// Xfer is the paper's single-interface form (MPI_RMA_xfer): op selects
+// put, get or accumulate; accOp selects the combining operation for
+// accumulates (ignored otherwise).
+func (e *Engine) Xfer(op OpType, accOp AccOp, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	scale := 1.0
+	switch op {
+	case OpPut:
+		accOp = AccNone
+	case OpGet:
+		accOp = AccNone
+	case OpAccumulate:
+		if accOp == AccNone {
+			accOp = AccReplace
+		}
+	case OpInvoke:
+		// The optype expansion: a remote method invocation. The origin
+		// buffer is the payload; tdisp names the handler id; the
+		// target-side arguments are unused.
+		ext := datatype.ExtentOf(ocount, odt)
+		if !origin.Contains(0, ext) {
+			return nil, fmt.Errorf("core: invoke payload of %d bytes exceeds origin region of %d", ext, origin.Size)
+		}
+		if tdisp < 0 {
+			return nil, fmt.Errorf("core: invoke handler id must be non-negative")
+		}
+		payload := e.proc.Mem().Snapshot(origin.Offset, ext)
+		return e.InvokeAM(uint64(tdisp), payload, trank, comm, attrs)
+	default:
+		return nil, fmt.Errorf("core: unknown op type %v", op)
+	}
+	return e.xfer(op, accOp, scale, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm, attrs)
+}
+
+// validateXfer checks the transfer arguments shared by all operations.
+func (e *Engine) validateXfer(op OpType, accOp AccOp, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm) error {
+	if !tm.Valid() {
+		return fmt.Errorf("core: invalid target_mem descriptor")
+	}
+	if w := comm.WorldRank(trank); w != tm.Owner {
+		return fmt.Errorf("core: target rank %d of comm resolves to world rank %d, but target_mem is owned by rank %d", trank, w, tm.Owner)
+	}
+	if ocount < 0 || tcount < 0 || tdisp < 0 {
+		return fmt.Errorf("core: negative count or displacement")
+	}
+	if !datatype.Compatible(ocount, odt, tcount, tdt) {
+		return fmt.Errorf("core: type signature mismatch: %d x %s vs %d x %s", ocount, odt.Name(), tcount, tdt.Name())
+	}
+	oExt := datatype.ExtentOf(ocount, odt)
+	if !origin.Contains(0, oExt) {
+		return fmt.Errorf("core: origin region of %d bytes cannot hold %d x %s (%d bytes)", origin.Size, ocount, odt.Name(), oExt)
+	}
+	tExt := datatype.ExtentOf(tcount, tdt)
+	if tdisp+tExt > tm.Size {
+		return fmt.Errorf("core: target access [%d,%d) exceeds target_mem of %d bytes", tdisp, tdisp+tExt, tm.Size)
+	}
+	if tm.AddrBits == 32 && uint64(tdisp)+uint64(tExt) > 1<<32 {
+		return fmt.Errorf("core: access beyond the target's 32-bit address space")
+	}
+	if accOp == AccAxpy {
+		for _, run := range kindsOf(tcount, tdt) {
+			if run != datatype.KFloat64 && run != datatype.KFloat32 {
+				return fmt.Errorf("core: axpy accumulate requires floating-point elements, got %v", run)
+			}
+		}
+	}
+	if op == OpAccumulate && accOp != AccReplace {
+		for _, k := range kindsOf(tcount, tdt) {
+			if k == datatype.KByte && (accOp == AccProd || accOp == AccAxpy) {
+				return fmt.Errorf("core: accumulate op %v not defined for byte elements", accOp)
+			}
+		}
+	}
+	return nil
+}
+
+// kindsOf returns the distinct element kinds of a transfer.
+func kindsOf(count int, t datatype.Type) []datatype.Kind {
+	seen := make(map[datatype.Kind]bool)
+	var out []datatype.Kind
+	if count > 0 {
+		datatype.Walk(t, func(off, n int, k datatype.Kind) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		})
+	}
+	return out
+}
+
+// xfer is the common issue path.
+func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
+	if err := e.validateXfer(op, accOp, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm); err != nil {
+		return nil, err
+	}
+	attrs = e.effectiveAttrs(comm, attrs)
+	target := tm.Owner
+	e.Progress() // entering the library makes progress (MechProgress)
+	e.maybeFence(comm, target)
+
+	// Ordered-stream sequence number, only needed when the network itself
+	// does not order messages (the Figure 2 "ordering is free" case).
+	var seq uint64
+	e.mu.Lock()
+	ts := e.targetLocked(target)
+	ts.sent++
+	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
+		ts.orderSeq++
+		seq = ts.orderSeq
+	}
+	e.mu.Unlock()
+	e.OpsIssued.Inc()
+
+	req := e.newRequest()
+
+	var m *simnet.Message
+	switch op {
+	case OpPut, OpAccumulate:
+		wire := make([]byte, datatype.PackedSize(ocount, odt))
+		src := e.proc.Mem().Snapshot(origin.Offset, datatype.ExtentOf(ocount, odt))
+		if err := datatype.PackInto(wire, src, ocount, odt, e.proc.ByteOrder()); err != nil {
+			return nil, err
+		}
+		m = newMsg(target, kPut)
+		m.Payload = putPayload(tdt, accOp, scale, wire)
+	case OpGet:
+		m = newMsg(target, kGet)
+		m.Payload = getPayload(tdt)
+		// Stash the unpack destination; the reply handler runs it.
+		oc, od := ocount, odt
+		reg := origin
+		req.onData = func(wire []byte, at vtime.Time) {
+			buf := make([]byte, datatype.ExtentOf(oc, od))
+			if err := e.proc.Mem().RemoteRead(reg.Offset, buf); err != nil {
+				panic(err)
+			}
+			if err := datatype.Unpack(buf, wire, oc, od, e.proc.ByteOrder()); err != nil {
+				panic(err)
+			}
+			if err := e.proc.Mem().RemoteWrite(reg.Offset, buf); err != nil {
+				panic(err)
+			}
+		}
+	}
+	m.Hdr[hHandle] = tm.Handle
+	m.Hdr[hDisp] = uint64(tdisp)
+	m.Hdr[hCount] = uint64(tcount)
+	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(accOp)<<16
+	m.Hdr[hReq] = req.id
+	m.Hdr[hSeq] = seq
+
+	// The coarse-grain serializer requires the origin to hold the target's
+	// process-level lock across the whole atomic operation.
+	if attrs&AttrAtomic != 0 && e.targetUsesCoarseLock() {
+		if err := e.acquireLock(target); err != nil {
+			return nil, err
+		}
+		m.Flags |= flagUnlockAfter
+	}
+
+	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
+		return nil, err
+	}
+	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
+	e.tr().Recordf(m.SentAt, "issue", target, "%v %s disp=%d bytes=%d attrs=%v", op, tdt.Name(), tdisp, datatype.PackedSize(tcount, tdt), attrs)
+
+	// Local completion: puts and accumulates without RemoteComplete are
+	// done once the data has left the origin. Gets complete on reply.
+	if op != OpGet && attrs&AttrRemoteComplete == 0 {
+		req.complete(m.SentAt, nil)
+	}
+	if attrs&AttrBlocking != 0 {
+		req.Wait()
+	}
+	return req, nil
+}
+
+// targetUsesCoarseLock reports whether atomic operations must use the
+// coarse-grain lock protocol. The mechanism is a property of the target's
+// engine; in this simulator all ranks of a world share one Options value,
+// so the origin's own configuration answers for the target (asserted in
+// tests).
+func (e *Engine) targetUsesCoarseLock() bool {
+	return e.opts.Atomicity == serializer.MechCoarseLock
+}
+
+// putPayload frames a put/accumulate body:
+// varint(len(dt)) dt [scale f64 bits if AccAxpy] wire.
+func putPayload(tdt datatype.Type, accOp AccOp, scale float64, wire []byte) []byte {
+	dt := datatype.Encode(tdt)
+	out := binary.AppendUvarint(nil, uint64(len(dt)))
+	out = append(out, dt...)
+	if accOp == AccAxpy {
+		var s [8]byte
+		binary.LittleEndian.PutUint64(s[:], math.Float64bits(scale))
+		out = append(out, s[:]...)
+	}
+	return append(out, wire...)
+}
+
+// getPayload frames a get body: varint(len(dt)) dt.
+func getPayload(tdt datatype.Type) []byte {
+	dt := datatype.Encode(tdt)
+	out := binary.AppendUvarint(nil, uint64(len(dt)))
+	return append(out, dt...)
+}
+
+// parseTypeFrame splits a framed body into the decoded type and the rest.
+func parseTypeFrame(body []byte) (datatype.Type, []byte, error) {
+	dtLen, n := binary.Uvarint(body)
+	if n <= 0 || uint64(len(body)-n) < dtLen {
+		return nil, nil, fmt.Errorf("core: truncated datatype frame")
+	}
+	dt, used, err := datatype.Decode(body[n : n+int(dtLen)])
+	if err != nil {
+		return nil, nil, err
+	}
+	if used != int(dtLen) {
+		return nil, nil, fmt.Errorf("core: datatype frame has %d trailing bytes", int(dtLen)-used)
+	}
+	return dt, body[n+int(dtLen):], nil
+}

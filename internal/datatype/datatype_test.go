@@ -1,0 +1,369 @@
+package datatype
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveWidths(t *testing.T) {
+	cases := []struct {
+		t    Type
+		size int
+	}{
+		{Byte, 1}, {Int32, 4}, {Int64, 8}, {Float32, 4}, {Float64, 8},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size || c.t.Extent() != c.size {
+			t.Errorf("%s: size/extent = %d/%d, want %d", c.t.Name(), c.t.Size(), c.t.Extent(), c.size)
+		}
+	}
+}
+
+func TestContiguousLayout(t *testing.T) {
+	ct := Contiguous(4, Int32)
+	if ct.Size() != 16 || ct.Extent() != 16 {
+		t.Fatalf("contiguous(4,int32): size=%d extent=%d, want 16/16", ct.Size(), ct.Extent())
+	}
+	var segs int
+	Walk(ct, func(off, n int, k Kind) {
+		segs++
+		if off != 0 || n != 4 || k != KInt32 {
+			t.Errorf("unexpected segment (%d,%d,%v)", off, n, k)
+		}
+	})
+	if segs != 1 {
+		t.Errorf("contiguous primitive should collapse to 1 segment, got %d", segs)
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// 3 blocks of 2 float64, stride 4 elements.
+	vt := Vector(3, 2, 4, Float64)
+	if vt.Size() != 48 {
+		t.Errorf("size = %d, want 48", vt.Size())
+	}
+	if want := ((3-1)*4 + 2) * 8; vt.Extent() != want {
+		t.Errorf("extent = %d, want %d", vt.Extent(), want)
+	}
+	var offs []int
+	Walk(vt, func(off, n int, k Kind) {
+		offs = append(offs, off)
+		if n != 2 || k != KFloat64 {
+			t.Errorf("segment (%d,%d,%v), want blocks of 2 float64", off, n, k)
+		}
+	})
+	want := []int{0, 32, 64}
+	if len(offs) != 3 || offs[0] != want[0] || offs[1] != want[1] || offs[2] != want[2] {
+		t.Errorf("block offsets %v, want %v", offs, want)
+	}
+}
+
+func TestVectorStrideValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Vector with stride < blocklen should panic")
+		}
+	}()
+	Vector(2, 4, 2, Byte)
+}
+
+func TestIndexedLayout(t *testing.T) {
+	it := Indexed([]int{2, 1}, []int{3, 0}, Int32)
+	if it.Size() != 12 {
+		t.Errorf("size = %d, want 12", it.Size())
+	}
+	if want := (3 + 2) * 4; it.Extent() != want {
+		t.Errorf("extent = %d, want %d", it.Extent(), want)
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	st := Struct([]Field{
+		{Offset: 0, Count: 1, Type: Int64},
+		{Offset: 8, Count: 2, Type: Float32},
+		{Offset: 16, Count: 4, Type: Byte},
+	})
+	if st.Size() != 8+8+4 {
+		t.Errorf("size = %d, want 20", st.Size())
+	}
+	if st.Extent() != 20 {
+		t.Errorf("extent = %d, want 20", st.Extent())
+	}
+}
+
+func TestPackUnpackContiguousRoundtrip(t *testing.T) {
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	wire, err := Pack(src, 8, Int64, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, src) {
+		t.Fatal("little-endian contiguous pack must be identity")
+	}
+	dst := make([]byte, 64)
+	if err := Unpack(dst, wire, 8, Int64, LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestPackBigEndianSwaps(t *testing.T) {
+	src := make([]byte, 8)
+	binary.BigEndian.PutUint64(src, 0x0102030405060708)
+	wire, err := Pack(src, 1, Int64, BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(wire); got != 0x0102030405060708 {
+		t.Fatalf("wire value %#x, want canonical little-endian of the big-endian source", got)
+	}
+	// Unpacking into a big-endian rank restores the original bytes.
+	dst := make([]byte, 8)
+	if err := Unpack(dst, wire, 1, Int64, BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("big-endian roundtrip mismatch")
+	}
+}
+
+func TestCrossEndianTransfer(t *testing.T) {
+	// A float64 written on a little-endian rank must read back as the
+	// same value on a big-endian rank after pack/unpack.
+	val := 3.14159
+	src := make([]byte, 8)
+	binary.LittleEndian.PutUint64(src, math.Float64bits(val))
+	wire, err := Pack(src, 1, Float64, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 8)
+	if err := Unpack(dst, wire, 1, Float64, BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(binary.BigEndian.Uint64(dst)); got != val {
+		t.Fatalf("cross-endian value = %v, want %v", got, val)
+	}
+}
+
+func TestPackVectorGathers(t *testing.T) {
+	// Buffer: 6 int32; vector takes elements 0,1 and 4,5.
+	src := make([]byte, 24)
+	for i := 0; i < 6; i++ {
+		binary.LittleEndian.PutUint32(src[i*4:], uint32(10+i))
+	}
+	vt := Vector(2, 2, 4, Int32)
+	wire, err := Pack(src, 1, vt, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{10, 11, 14, 15}
+	for i, w := range want {
+		if got := binary.LittleEndian.Uint32(wire[i*4:]); got != w {
+			t.Errorf("wire[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestUnpackVectorScattersPreservingHoles(t *testing.T) {
+	vt := Vector(2, 1, 2, Int32) // elements 0 and 2
+	dst := make([]byte, 16)
+	for i := range dst {
+		dst[i] = 0xEE
+	}
+	wire := make([]byte, 8)
+	binary.LittleEndian.PutUint32(wire[0:], 1)
+	binary.LittleEndian.PutUint32(wire[4:], 2)
+	if err := Unpack(dst, wire, 1, vt, LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(dst[0:]) != 1 || binary.LittleEndian.Uint32(dst[8:]) != 2 {
+		t.Fatal("scattered values wrong")
+	}
+	for _, i := range []int{4, 5, 6, 7, 12, 13, 14, 15} {
+		if dst[i] != 0xEE {
+			t.Fatalf("hole byte %d clobbered", i)
+		}
+	}
+}
+
+func TestPackSizeMismatch(t *testing.T) {
+	src := make([]byte, 4)
+	if _, err := Pack(src, 2, Int32, LittleEndian); err == nil {
+		t.Fatal("packing 2 int32 from 4 bytes should fail")
+	}
+	dst := make([]byte, 3)
+	if err := Unpack(dst, make([]byte, 4), 1, Int32, LittleEndian); err == nil {
+		t.Fatal("unpacking into a short buffer should fail")
+	}
+}
+
+func TestSignatureCompatibility(t *testing.T) {
+	// 8 bytes contiguous == vector of 2x4 bytes in signature terms.
+	a := Contiguous(8, Byte)
+	v := Vector(2, 4, 10, Byte)
+	if !Compatible(1, a, 1, v) {
+		t.Error("8 contiguous bytes should match a 2x4 byte vector")
+	}
+	if Compatible(1, a, 1, Contiguous(2, Int32)) {
+		t.Error("bytes must not match int32s (heterogeneity rule)")
+	}
+	if !Compatible(4, Int32, 1, Contiguous(4, Int32)) {
+		t.Error("count folding should be signature-equal")
+	}
+	if Compatible(3, Int32, 4, Int32) {
+		t.Error("different element counts must not match")
+	}
+}
+
+// randomType builds a random type tree (depth ≤ 2) for property tests.
+func randomType(r *rand.Rand) Type {
+	prims := []Type{Byte, Int32, Int64, Float32, Float64}
+	base := prims[r.Intn(len(prims))]
+	switch r.Intn(4) {
+	case 0:
+		return base
+	case 1:
+		return Contiguous(1+r.Intn(5), base)
+	case 2:
+		bl := 1 + r.Intn(3)
+		return Vector(1+r.Intn(4), bl, bl+r.Intn(3), base)
+	default:
+		n := 1 + r.Intn(4)
+		blocklens := make([]int, n)
+		displs := make([]int, n)
+		next := 0
+		for i := 0; i < n; i++ {
+			displs[i] = next + r.Intn(3)
+			blocklens[i] = 1 + r.Intn(3)
+			next = displs[i] + blocklens[i]
+		}
+		return Indexed(blocklens, displs, base)
+	}
+}
+
+// TestPackUnpackPropertyRoundtrip: for random types, random data, and both
+// byte orders, unpack(pack(x)) == x on the covered bytes, holes preserved.
+func TestPackUnpackPropertyRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		dt := randomType(r)
+		count := 1 + r.Intn(3)
+		order := LittleEndian
+		if r.Intn(2) == 1 {
+			order = BigEndian
+		}
+		ext := ExtentOf(count, dt)
+		src := make([]byte, ext)
+		r.Read(src)
+		wire, err := Pack(src, count, dt, order)
+		if err != nil {
+			t.Fatalf("iter %d (%s x%d): pack: %v", iter, dt.Name(), count, err)
+		}
+		if len(wire) != PackedSize(count, dt) {
+			t.Fatalf("iter %d: wire %d bytes, want %d", iter, len(wire), PackedSize(count, dt))
+		}
+		dst := make([]byte, ext)
+		const holeFill = 0xAB
+		for i := range dst {
+			dst[i] = holeFill
+		}
+		if err := Unpack(dst, wire, count, dt, order); err != nil {
+			t.Fatalf("iter %d: unpack: %v", iter, err)
+		}
+		// Covered bytes must match src; holes must keep the fill.
+		covered := make([]bool, ext)
+		for i := 0; i < count; i++ {
+			at := i * dt.Extent()
+			Walk(dt, func(off, n int, k Kind) {
+				for b := 0; b < n*k.Width(); b++ {
+					covered[at+off+b] = true
+				}
+			})
+		}
+		for i := range dst {
+			if covered[i] && dst[i] != src[i] {
+				t.Fatalf("iter %d (%s): covered byte %d = %#x, want %#x", iter, dt.Name(), i, dst[i], src[i])
+			}
+			if !covered[i] && dst[i] != holeFill {
+				t.Fatalf("iter %d (%s): hole byte %d clobbered", iter, dt.Name(), i)
+			}
+		}
+	}
+}
+
+// Property: packed size equals the sum of walked segment widths.
+func TestSizeMatchesWalk(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		dt := randomType(r)
+		var sum int
+		Walk(dt, func(off, n int, k Kind) { sum += n * k.Width() })
+		return sum == dt.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: signatures are invariant under codec roundtrip.
+func TestCodecPreservesSignature(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 300; iter++ {
+		dt := randomType(r)
+		enc := Encode(dt)
+		dec, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iter %d: decode(%s): %v", iter, dt.Name(), err)
+		}
+		if n != len(enc) {
+			t.Fatalf("iter %d: decode consumed %d of %d bytes", iter, n, len(enc))
+		}
+		if !SignatureOf(1, dt).Equal(SignatureOf(1, dec)) {
+			t.Fatalf("iter %d: signature changed across codec: %s vs %s", iter, dt.Name(), dec.Name())
+		}
+		if dt.Size() != dec.Size() || dt.Extent() != dec.Extent() {
+			t.Fatalf("iter %d: size/extent changed across codec", iter)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},              // unknown tag
+		{tagPrimitive},    // truncated
+		{tagPrimitive, 7}, // unknown kind
+		{tagContig},       // missing varint
+		{tagVector, 1},    // truncated varints
+	}
+	for i, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Errorf("case %d: Decode(%v) succeeded, want error", i, c)
+		}
+	}
+}
+
+func TestCodecStruct(t *testing.T) {
+	st := Struct([]Field{
+		{Offset: 0, Count: 2, Type: Int32},
+		{Offset: 16, Count: 1, Type: Vector(2, 1, 2, Float64)},
+	})
+	dec, _, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SignatureOf(1, st).Equal(SignatureOf(1, dec)) {
+		t.Fatal("struct codec changed the signature")
+	}
+}

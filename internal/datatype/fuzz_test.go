@@ -1,0 +1,69 @@
+package datatype
+
+import (
+	"testing"
+)
+
+// FuzzDecode hardens the datatype wire codec against malformed input: the
+// decoder must never panic and, when it succeeds, the result must
+// re-encode and re-decode to the same signature (the type arrives from
+// the network in every core RMA message, so this is attacker-adjacent
+// surface in a real implementation).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: every constructor's encoding plus some junk.
+	f.Add(Encode(Byte))
+	f.Add(Encode(Int64))
+	f.Add(Encode(Contiguous(4, Float64)))
+	f.Add(Encode(Vector(3, 2, 4, Int32)))
+	f.Add(Encode(Indexed([]int{1, 2}, []int{0, 5}, Byte)))
+	f.Add(Encode(Struct([]Field{{Offset: 0, Count: 2, Type: Int32}, {Offset: 16, Count: 1, Type: Float64}})))
+	f.Add([]byte{})
+	f.Add([]byte{tagVector, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{tagStruct, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dt, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		// A successfully decoded type must be internally consistent.
+		// (Size may exceed Extent: struct and indexed type maps may
+		// visit overlapping bytes, as MPI type maps may.)
+		if dt.Size() < 0 || dt.Extent() < 0 {
+			t.Fatalf("inconsistent type %s: size=%d extent=%d", dt.Name(), dt.Size(), dt.Extent())
+		}
+		// Walk must cover exactly Size bytes and stay within Extent.
+		var covered int
+		Walk(dt, func(off, n int, k Kind) {
+			covered += n * k.Width()
+			if off < 0 || off+n*k.Width() > dt.Extent() {
+				t.Fatalf("segment [%d,%d) escapes extent %d", off, off+n*k.Width(), dt.Extent())
+			}
+		})
+		if covered != dt.Size() {
+			t.Fatalf("walk covered %d bytes, size is %d", covered, dt.Size())
+		}
+		// Round trip through the codec preserves the signature.
+		dt2, _, err := Decode(Encode(dt))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !SignatureOf(1, dt).Equal(SignatureOf(1, dt2)) {
+			t.Fatal("codec round trip changed the signature")
+		}
+		// Pack/unpack of a decoded type must work on a right-sized buffer.
+		if dt.Extent() > 0 && dt.Extent() < 1<<16 {
+			src := make([]byte, dt.Extent())
+			wire, err := Pack(src, 1, dt, LittleEndian)
+			if err != nil {
+				t.Fatalf("pack: %v", err)
+			}
+			if err := Unpack(src, wire, 1, dt, LittleEndian); err != nil {
+				t.Fatalf("unpack: %v", err)
+			}
+		}
+	})
+}

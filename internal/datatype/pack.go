@@ -1,0 +1,146 @@
+package datatype
+
+import (
+	"fmt"
+)
+
+// PackedSize returns the number of wire bytes count instances of t occupy.
+func PackedSize(count int, t Type) int { return count * t.Size() }
+
+// ExtentOf returns the number of buffer bytes count instances of t span.
+func ExtentOf(count int, t Type) int {
+	return count * t.Extent()
+}
+
+// Pack gathers count instances of t from src (laid out per the rank's
+// order) into a fresh wire buffer in canonical (little-endian, dense)
+// format and returns it.
+func Pack(src []byte, count int, t Type, order ByteOrder) ([]byte, error) {
+	dst := make([]byte, PackedSize(count, t))
+	if err := PackInto(dst, src, count, t, order); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// PackInto gathers count instances of t from src into dst in canonical
+// wire format. dst must be exactly PackedSize(count, t) bytes.
+func PackInto(dst, src []byte, count int, t Type, order ByteOrder) error {
+	if len(dst) != PackedSize(count, t) {
+		return fmt.Errorf("datatype: pack buffer is %d bytes, need %d", len(dst), PackedSize(count, t))
+	}
+	if need := ExtentOf(count, t); len(src) < need {
+		return fmt.Errorf("datatype: source buffer is %d bytes, type %s x%d spans %d", len(src), t.Name(), count, need)
+	}
+	pos := 0
+	ext := t.Extent()
+	swap := order == BigEndian
+	for i := 0; i < count; i++ {
+		at := i * ext
+		t.walk(func(off, n int, k Kind) {
+			w := k.Width()
+			seg := src[at+off : at+off+n*w]
+			out := dst[pos : pos+n*w]
+			if swap && w > 1 {
+				swapCopy(out, seg, w)
+			} else {
+				copy(out, seg)
+			}
+			pos += n * w
+		})
+	}
+	if pos != len(dst) {
+		return fmt.Errorf("datatype: internal error: packed %d of %d bytes", pos, len(dst))
+	}
+	return nil
+}
+
+// Unpack scatters wire (canonical format) into count instances of t in dst,
+// converting elements to the rank's order.
+func Unpack(dst []byte, wire []byte, count int, t Type, order ByteOrder) error {
+	if len(wire) != PackedSize(count, t) {
+		return fmt.Errorf("datatype: wire buffer is %d bytes, need %d", len(wire), PackedSize(count, t))
+	}
+	if need := ExtentOf(count, t); len(dst) < need {
+		return fmt.Errorf("datatype: destination buffer is %d bytes, type %s x%d spans %d", len(dst), t.Name(), count, need)
+	}
+	pos := 0
+	ext := t.Extent()
+	swap := order == BigEndian
+	for i := 0; i < count; i++ {
+		at := i * ext
+		t.walk(func(off, n int, k Kind) {
+			w := k.Width()
+			seg := wire[pos : pos+n*w]
+			out := dst[at+off : at+off+n*w]
+			if swap && w > 1 {
+				swapCopy(out, seg, w)
+			} else {
+				copy(out, seg)
+			}
+			pos += n * w
+		})
+	}
+	if pos != len(wire) {
+		return fmt.Errorf("datatype: internal error: unpacked %d of %d bytes", pos, len(wire))
+	}
+	return nil
+}
+
+// swapCopy copies src to dst reversing the byte order of each w-wide
+// element. dst and src must not overlap.
+func swapCopy(dst, src []byte, w int) {
+	for i := 0; i < len(src); i += w {
+		for j := 0; j < w; j++ {
+			dst[i+j] = src[i+w-1-j]
+		}
+	}
+}
+
+// Signature returns the flattened element-kind sequence of count instances
+// of t, run-length encoded as (kind, n) pairs. Two transfers are
+// type-compatible when their signatures are equal — the MPI matching rule.
+type Signature []sigRun
+
+type sigRun struct {
+	Kind Kind
+	N    int
+}
+
+// SignatureOf computes the signature of count instances of t.
+func SignatureOf(count int, t Type) Signature {
+	var sig Signature
+	add := func(k Kind, n int) {
+		if n == 0 {
+			return
+		}
+		if len(sig) > 0 && sig[len(sig)-1].Kind == k {
+			sig[len(sig)-1].N += n
+			return
+		}
+		sig = append(sig, sigRun{k, n})
+	}
+	for i := 0; i < count; i++ {
+		t.walk(func(off, n int, k Kind) { add(k, n) })
+	}
+	return sig
+}
+
+// Equal reports whether two signatures describe the same element sequence.
+func (s Signature) Equal(o Signature) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether a transfer of ocount instances of ot matches
+// tcount instances of tt — identical flattened element sequences.
+func Compatible(ocount int, ot Type, tcount int, tt Type) bool {
+	return SignatureOf(ocount, ot).Equal(SignatureOf(tcount, tt))
+}

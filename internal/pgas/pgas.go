@@ -1,0 +1,191 @@
+// Package pgas is a minimal PGAS-language runtime shim over the strawman
+// engine — the "compilation target" use the paper opens Section II with:
+// "Partitioned Global Address Space (PGAS) languages such as UPC and
+// Co-Array Fortran rely on efficient RMA operations. It is natural to
+// look at the MPI-2 RMA interface as an implementation layer for these
+// programming models" — and whose mismatches with MPI-2 motivated the
+// strawman.
+//
+// What a UPC-like compiler needs, and how the strawman provides it here:
+//
+//   - Shared objects anywhere in memory, not collectively created
+//     windows: Space exposes each rank's shared segment once; global
+//     pointers are (rank, offset) pairs — the paper's requirement 1.
+//   - Strict vs relaxed accesses (the hybrid consistency of Section
+//     III-A): a relaxed access compiles to a bare transfer; a strict
+//     access compiles to ordered + remote-complete, giving the
+//     program-order, globally-visible semantics UPC's `strict` demands.
+//   - Overlapping concurrent accesses are permitted with undefined
+//     result, not erroneous — the paper's requirement 3.
+//
+// The package is deliberately small: it demonstrates the mapping, which
+// is the paper's argument, not a full language runtime.
+package pgas
+
+import (
+	"fmt"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+)
+
+// Mode selects the consistency of one access (UPC's strict/relaxed).
+type Mode int
+
+const (
+	// Relaxed accesses may be reordered and complete locally — the
+	// cheapest transfer (AttrNone).
+	Relaxed Mode = iota
+	// Strict accesses happen in program order and are globally visible
+	// before the next strict access — ordered + remote-complete +
+	// blocking.
+	Strict
+)
+
+// attrs compiles a consistency mode to strawman attributes — the
+// one-line table that is this package's point.
+func (m Mode) attrs() core.Attr {
+	switch m {
+	case Strict:
+		return core.AttrOrdering | core.AttrRemoteComplete | core.AttrBlocking
+	default:
+		return core.AttrBlocking // relaxed: single call, local completion
+	}
+}
+
+// String returns the UPC keyword for the mode.
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "relaxed"
+}
+
+// GlobalPtr is a PGAS global pointer: an affinity rank plus a byte offset
+// into that rank's shared segment.
+type GlobalPtr struct {
+	Rank   int
+	Offset int
+}
+
+// Add returns the pointer displaced by n bytes.
+func (g GlobalPtr) Add(n int) GlobalPtr { return GlobalPtr{Rank: g.Rank, Offset: g.Offset + n} }
+
+// String renders the pointer UPC-style.
+func (g GlobalPtr) String() string { return fmt.Sprintf("<%d>+%d", g.Rank, g.Offset) }
+
+// Space is one rank's view of the partitioned global address space: every
+// rank contributes a shared segment of equal size.
+type Space struct {
+	proc *runtime.Proc
+	eng  *core.Engine
+	comm *runtime.Comm
+	tms  []core.TargetMem
+	// Local is this rank's own shared segment.
+	Local memsim.Region
+	size  int
+
+	// scratch is a reusable staging buffer (grown on demand); Space
+	// methods are intended for the owning rank's goroutine, like the
+	// compiler-emitted accesses they stand in for.
+	scratch memsim.Region
+}
+
+// NewSpace collectively builds the shared space with size bytes of
+// affinity per rank.
+func NewSpace(p *runtime.Proc, comm *runtime.Comm, size int) (*Space, error) {
+	eng := core.Attach(p, core.Options{})
+	tms, region, err := eng.ExposeCollective(comm, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Space{proc: p, eng: eng, comm: comm, tms: tms, Local: region, size: size}, nil
+}
+
+// ensureScratch grows the staging buffer to at least n bytes.
+func (s *Space) ensureScratch(n int) memsim.Region {
+	if s.scratch.Size < n {
+		want := s.scratch.Size * 2
+		if want < n {
+			want = n
+		}
+		if want < 256 {
+			want = 256
+		}
+		s.scratch = s.proc.Alloc(want)
+	}
+	return s.scratch
+}
+
+// SegmentSize returns the per-rank shared segment size.
+func (s *Space) SegmentSize() int { return s.size }
+
+// ThreadOf returns the affinity rank of a pointer (upc_threadof).
+func (s *Space) ThreadOf(g GlobalPtr) int { return g.Rank }
+
+func (s *Space) check(g GlobalPtr, n int) error {
+	if g.Rank < 0 || g.Rank >= len(s.tms) {
+		return fmt.Errorf("pgas: pointer %v has no affinity in a %d-rank space", g, len(s.tms))
+	}
+	if g.Offset < 0 || g.Offset+n > s.size {
+		return fmt.Errorf("pgas: access [%d,%d) outside the %d-byte segment", g.Offset, g.Offset+n, s.size)
+	}
+	return nil
+}
+
+// Write stores data at the global pointer with the given consistency —
+// the assignment `*g = data` a UPC compiler would emit.
+func (s *Space) Write(g GlobalPtr, data []byte, mode Mode) error {
+	if err := s.check(g, len(data)); err != nil {
+		return err
+	}
+	scratch := s.ensureScratch(len(data))
+	s.proc.WriteLocal(scratch, 0, data)
+	return s.WriteFrom(g, scratch, 0, len(data), mode)
+}
+
+// WriteFrom stores n bytes already resident in src (at srcOff) at the
+// global pointer — the buffer-reusing form.
+func (s *Space) WriteFrom(g GlobalPtr, src memsim.Region, srcOff, n int, mode Mode) error {
+	if err := s.check(g, n); err != nil {
+		return err
+	}
+	sub := memsim.Region{Offset: src.Offset + srcOff, Size: n}
+	_, err := s.eng.Put(sub, n, datatype.Byte, s.tms[g.Rank], g.Offset, n, datatype.Byte, g.Rank, s.comm, mode.attrs())
+	return err
+}
+
+// Read fetches n bytes from the global pointer — the dereference a UPC
+// compiler would emit. Reads are data-blocking under either mode; strict
+// additionally joins the ordered stream.
+func (s *Space) Read(g GlobalPtr, n int, mode Mode) ([]byte, error) {
+	if err := s.check(g, n); err != nil {
+		return nil, err
+	}
+	scratch := s.ensureScratch(n)
+	req, err := s.eng.Get(scratch, n, datatype.Byte, s.tms[g.Rank], g.Offset, n, datatype.Byte, g.Rank, s.comm, mode.attrs())
+	if err != nil {
+		return nil, err
+	}
+	if req != nil {
+		req.Wait()
+	}
+	return s.proc.ReadLocal(scratch, 0, n), nil
+}
+
+// Fence is upc_fence: all outstanding relaxed accesses of this thread are
+// complete everywhere.
+func (s *Space) Fence() error {
+	return s.eng.Complete(s.comm, core.AllRanks)
+}
+
+// Barrier is upc_barrier: fence plus a barrier.
+func (s *Space) Barrier() error {
+	if err := s.Fence(); err != nil {
+		return err
+	}
+	s.comm.Barrier()
+	return nil
+}

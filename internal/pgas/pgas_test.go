@@ -1,0 +1,201 @@
+package pgas
+
+import (
+	"bytes"
+	"testing"
+
+	"mpi3rma/internal/runtime"
+)
+
+func newWorld(t *testing.T, ranks int) *runtime.World {
+	t.Helper()
+	w := runtime.NewWorld(runtime.Config{Ranks: ranks})
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestSpaceCreateAndBounds(t *testing.T) {
+	w := newWorld(t, 3)
+	err := w.Run(func(p *runtime.Proc) {
+		sp, err := NewSpace(p, p.Comm(), 128)
+		if err != nil {
+			t.Errorf("space: %v", err)
+			return
+		}
+		if sp.SegmentSize() != 128 || sp.Local.Size != 128 {
+			t.Errorf("segment size %d local %d", sp.SegmentSize(), sp.Local.Size)
+		}
+		if err := sp.Write(GlobalPtr{Rank: 5, Offset: 0}, []byte{1}, Relaxed); err == nil {
+			t.Error("write through a foreign-affinity pointer accepted")
+		}
+		if err := sp.Write(GlobalPtr{Rank: 0, Offset: 127}, []byte{1, 2}, Relaxed); err == nil {
+			t.Error("out-of-segment write accepted")
+		}
+		if _, err := sp.Read(GlobalPtr{Rank: 0, Offset: -1}, 1, Relaxed); err == nil {
+			t.Error("negative-offset read accepted")
+		}
+		sp.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelaxedWriteFenceRead(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(p *runtime.Proc) {
+		sp, err := NewSpace(p, p.Comm(), 64)
+		if err != nil {
+			t.Errorf("space: %v", err)
+			return
+		}
+		if p.Rank() == 0 {
+			g := GlobalPtr{Rank: 1, Offset: 8}
+			if err := sp.Write(g, bytes.Repeat([]byte{0xC7}, 16), Relaxed); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := sp.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+			}
+			got, err := sp.Read(g, 16, Relaxed)
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			if !bytes.Equal(got, bytes.Repeat([]byte{0xC7}, 16)) {
+				t.Error("read after fence diverged")
+			}
+		}
+		sp.Barrier()
+		if p.Rank() == 1 {
+			got := p.Mem().Snapshot(sp.Local.Offset+8, 16)
+			if !bytes.Equal(got, bytes.Repeat([]byte{0xC7}, 16)) {
+				t.Error("relaxed write not visible after the writer's fence+barrier")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictProgramOrder: strict accesses land in program order even on a
+// scrambling network — the UPC strict guarantee.
+func TestStrictProgramOrder(t *testing.T) {
+	w := runtime.NewWorld(runtime.Config{Ranks: 2, UnorderedNet: true, Seed: 31})
+	t.Cleanup(w.Close)
+	err := w.Run(func(p *runtime.Proc) {
+		sp, err := NewSpace(p, p.Comm(), 16)
+		if err != nil {
+			t.Errorf("space: %v", err)
+			return
+		}
+		g := GlobalPtr{Rank: 1, Offset: 0}
+		if p.Rank() == 0 {
+			for i := 1; i <= 50; i++ {
+				if err := sp.Write(g, []byte{byte(i)}, Strict); err != nil {
+					t.Errorf("strict write: %v", err)
+				}
+			}
+		}
+		sp.Barrier()
+		if p.Rank() == 1 {
+			if got := p.Mem().Snapshot(sp.Local.Offset, 1)[0]; got != 50 {
+				t.Errorf("final value %d, want the last strict write's 50", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictFlagProtocol: the flag-after-data pattern UPC programs write
+// with strict accesses works without any explicit fence.
+func TestStrictFlagProtocol(t *testing.T) {
+	w := runtime.NewWorld(runtime.Config{Ranks: 2, UnorderedNet: true, Seed: 32})
+	t.Cleanup(w.Close)
+	err := w.Run(func(p *runtime.Proc) {
+		sp, err := NewSpace(p, p.Comm(), 16)
+		if err != nil {
+			t.Errorf("space: %v", err)
+			return
+		}
+		data := GlobalPtr{Rank: 1, Offset: 0}
+		flag := GlobalPtr{Rank: 1, Offset: 8}
+		if p.Rank() == 0 {
+			// The publication pattern needs BOTH accesses strict (relaxed
+			// writes are outside the ordered stream and may pass a later
+			// strict write — exactly UPC's rule).
+			if err := sp.Write(data, []byte{0xCD}, Strict); err != nil {
+				t.Errorf("strict data write: %v", err)
+			}
+			if err := sp.Write(flag, []byte{1}, Strict); err != nil {
+				t.Errorf("flag write: %v", err)
+			}
+			p.Barrier()
+			return
+		}
+		// Spin on the flag through the global space (loopback reads).
+		for {
+			f, err := sp.Read(flag, 1, Relaxed)
+			if err != nil {
+				t.Errorf("flag read: %v", err)
+				return
+			}
+			if f[0] == 1 {
+				break
+			}
+		}
+		d, err := sp.Read(data, 1, Relaxed)
+		if err != nil {
+			t.Errorf("data read: %v", err)
+			return
+		}
+		if d[0] != 0xCD {
+			t.Errorf("flag visible but data %#x, want 0xCD", d[0])
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalPtrHelpers(t *testing.T) {
+	g := GlobalPtr{Rank: 2, Offset: 10}
+	if g.Add(6) != (GlobalPtr{Rank: 2, Offset: 16}) {
+		t.Error("Add is wrong")
+	}
+	if g.String() != "<2>+10" {
+		t.Errorf("String = %q", g.String())
+	}
+	if Relaxed.String() != "relaxed" || Strict.String() != "strict" {
+		t.Error("mode strings")
+	}
+}
+
+func TestScratchGrowth(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(p *runtime.Proc) {
+		sp, err := NewSpace(p, p.Comm(), 4096)
+		if err != nil {
+			t.Errorf("space: %v", err)
+			return
+		}
+		if p.Rank() == 0 {
+			// Many writes of growing size must not exhaust rank memory
+			// (the scratch buffer is reused, not re-allocated per call).
+			for i := 0; i < 200; i++ {
+				n := 1 + i%1024
+				if err := sp.Write(GlobalPtr{Rank: 1, Offset: 0}, make([]byte, n), Relaxed); err != nil {
+					t.Errorf("write %d: %v", i, err)
+					return
+				}
+			}
+		}
+		sp.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

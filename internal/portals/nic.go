@@ -1,0 +1,173 @@
+// Package portals implements a Portals-3-like communication layer over the
+// simulated network, plus the per-rank communication agent the rest of the
+// stack shares.
+//
+// The paper's prototype (Section V-A) was "written using the Portals
+// communication library" on the Cray XT5, exploiting Portals' event-queue
+// mechanism to detect remote completion of a message. This package
+// reproduces the pieces the prototype depends on:
+//
+//   - Memory descriptors (MD) binding a region of a rank's memory for
+//     remote access, with an optional event queue.
+//   - Event queues (EQ) delivering SEND_END (local completion), ACK
+//     (remote completion), PUT_END/GET_END (target side), and REPLY_END.
+//   - Put and Get operations with an optional acknowledgement request.
+//
+// It also hosts the NIC: one goroutine per rank that consumes the rank's
+// delivery queue and dispatches by message kind. That goroutine is the
+// paper's "implicit communication thread" — higher layers (the strawman
+// RMA core, MPI-2 RMA, ARMCI, GASNet, the MPI-like runtime) register
+// handlers for their own message kinds on it.
+//
+// A NIC can be configured without hardware ACK generation (HardwareAcks =
+// false), modelling networks that can order messages but cannot report
+// remote completion; the put acknowledgement then degrades to a software
+// echo injected through the target's send path, which is exactly the
+// "slight penalty" the paper predicts (experiment E4).
+package portals
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/vtime"
+)
+
+// Handler processes one incoming message on the NIC agent goroutine.
+// at is the virtual time the NIC finished delivering the message (arrival
+// plus per-message overhead). Handlers must not block indefinitely: they
+// run on the rank's only delivery thread.
+type Handler func(m *simnet.Message, at vtime.Time)
+
+// Config configures a NIC.
+type Config struct {
+	// HardwareAcks selects whether the NIC generates put acknowledgements
+	// itself (Portals-on-SeaStar behaviour). When false, acknowledgements
+	// are software echoes injected through the target's ordinary send
+	// path, costing target CPU overhead and injection gap.
+	HardwareAcks bool
+}
+
+// NIC is one rank's network interface plus its communication agent.
+type NIC struct {
+	ep  *simnet.Endpoint
+	mem *memsim.Memory
+	cfg Config
+
+	// cpu is the rank's virtual CPU clock: the latest virtual time the
+	// rank's user code has observed. Blocking calls advance it.
+	cpu vtime.Clock
+
+	mu       sync.Mutex
+	handlers map[uint8]Handler
+	mds      []*MD
+	table    map[int]*MD // portal index -> MD exposed for remote access
+
+	quit chan struct{}
+	done chan struct{}
+
+	// SoftAcks counts acknowledgements that had to be sent in software.
+	SoftAcks stats.Counter
+	// BadReq counts protocol violations observed by this rank (unknown
+	// portal index, out-of-bounds access, disallowed operation).
+	BadReq stats.Counter
+}
+
+// NewNIC binds a NIC to an endpoint and a rank memory and starts its agent.
+func NewNIC(ep *simnet.Endpoint, mem *memsim.Memory, cfg Config) *NIC {
+	n := &NIC{
+		ep:       ep,
+		mem:      mem,
+		cfg:      cfg,
+		handlers: make(map[uint8]Handler),
+		table:    make(map[int]*MD),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	n.registerPortalsHandlers()
+	go n.agent()
+	return n
+}
+
+// Rank returns the NIC's rank id.
+func (n *NIC) Rank() int { return n.ep.ID() }
+
+// Mem returns the rank's memory.
+func (n *NIC) Mem() *memsim.Memory { return n.mem }
+
+// Endpoint returns the underlying network endpoint.
+func (n *NIC) Endpoint() *simnet.Endpoint { return n.ep }
+
+// CPU returns the rank's virtual CPU clock.
+func (n *NIC) CPU() *vtime.Clock { return &n.cpu }
+
+// Now returns the rank's current virtual time.
+func (n *NIC) Now() vtime.Time { return n.cpu.Now() }
+
+// HardwareAcks reports whether the NIC generates acknowledgements itself.
+func (n *NIC) HardwareAcks() bool { return n.cfg.HardwareAcks }
+
+// RegisterHandler installs h for message kind k. Registering a kind twice
+// panics: kinds are statically partitioned between layers (see kinds.go).
+func (n *NIC) RegisterHandler(k uint8, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[k]; dup {
+		panic(fmt.Sprintf("portals: duplicate handler for kind %d on rank %d", k, n.ep.ID()))
+	}
+	n.handlers[k] = h
+}
+
+// Send injects m at virtual time now and returns its arrival time at the
+// target NIC.
+func (n *NIC) Send(now vtime.Time, m *simnet.Message) (vtime.Time, error) {
+	return n.ep.Send(now, m)
+}
+
+// Stop terminates the agent goroutine. Messages still queued are left for
+// the network's Close to discard. Stop is idempotent.
+func (n *NIC) Stop() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+	<-n.done
+}
+
+// agent is the rank's communication thread: it consumes the delivery queue
+// and dispatches by kind. Each delivery reserves the endpoint's delivery
+// clock for the per-message overhead, so target-side virtual time accrues
+// per message exactly once regardless of which layer handles it.
+func (n *NIC) agent() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m, ok := <-n.ep.Queue():
+			if !ok {
+				return
+			}
+			n.dispatch(m)
+		}
+	}
+}
+
+// dispatch routes one message to its handler.
+func (n *NIC) dispatch(m *simnet.Message) {
+	n.mu.Lock()
+	h := n.handlers[m.Kind]
+	n.mu.Unlock()
+	if h == nil {
+		panic(fmt.Sprintf("portals: rank %d received message of unregistered kind %d from %d", n.ep.ID(), m.Kind, m.Src))
+	}
+	// Charge delivery on the target NIC's ingress lane: per-message
+	// overhead plus per-byte DMA cost. All senders share this lane — the
+	// target NIC is the funnel the Figure 2 workload contends on.
+	at := n.ep.DeliverLane().Complete(m.ArriveAt, n.ep.Cost().Deliver(len(m.Payload)))
+	h(m, at)
+}

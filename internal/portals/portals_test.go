@@ -1,0 +1,254 @@
+package portals
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// rig is a two-rank portals test fixture.
+type rig struct {
+	net  *simnet.Network
+	nics []*NIC
+	mems []*memsim.Memory
+}
+
+func newRig(t *testing.T, ranks int, hwAcks bool) *rig {
+	t.Helper()
+	net := simnet.New(simnet.Config{Ranks: ranks, Ordered: true})
+	r := &rig{net: net}
+	for i := 0; i < ranks; i++ {
+		mem := memsim.New(memsim.Config{Size: 1 << 16})
+		r.mems = append(r.mems, mem)
+		r.nics = append(r.nics, NewNIC(net.Endpoint(i), mem, Config{HardwareAcks: hwAcks}))
+	}
+	t.Cleanup(func() {
+		for _, n := range r.nics {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return r
+}
+
+func waitEvent(t *testing.T, eq *EQ, want EventType) Event {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-eq.Chan():
+			if ev.Type == want {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %v", want)
+		}
+	}
+}
+
+func TestPutDeliversAndAcks(t *testing.T) {
+	r := newRig(t, 2, true)
+	// Target exposes a region at portal index 5.
+	tgtRegion := r.mems[1].MustAlloc(256)
+	tgtEQ := NewEQ(0)
+	tgtMD := r.nics[1].AttachMD(tgtRegion, tgtEQ, MDPut|MDGet)
+	r.nics[1].Expose(5, tgtMD)
+
+	// Origin sets up a source MD.
+	srcRegion := r.mems[0].MustAlloc(64)
+	r.mems[0].LocalWrite(srcRegion.Offset, bytes.Repeat([]byte{0xCD}, 64))
+	srcEQ := NewEQ(0)
+	srcMD := r.nics[0].AttachMD(srcRegion, srcEQ, 0)
+
+	sent, err := srcMD.Put(0, 0, 64, 1, 5, 32, true, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent <= 0 {
+		t.Fatalf("local completion time %d", sent)
+	}
+	se := waitEvent(t, srcEQ, EvSendEnd)
+	if se.Length != 64 || se.Peer != 1 || se.UserHdr != 777 {
+		t.Fatalf("send event %+v", se)
+	}
+	pe := waitEvent(t, tgtEQ, EvPutEnd)
+	if pe.Offset != 32 || pe.Length != 64 || pe.Peer != 0 {
+		t.Fatalf("put event %+v", pe)
+	}
+	ack := waitEvent(t, srcEQ, EvAck)
+	if ack.Length != 64 || ack.UserHdr != 777 {
+		t.Fatalf("ack event %+v", ack)
+	}
+	if ack.At <= se.At {
+		t.Fatalf("ack at %d not after send end %d", ack.At, se.At)
+	}
+	got := r.mems[1].Snapshot(tgtRegion.Offset+32, 64)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xCD}, 64)) {
+		t.Fatal("payload not deposited")
+	}
+}
+
+func TestSoftwareAckCharged(t *testing.T) {
+	r := newRig(t, 2, false) // no hardware acks
+	tgtRegion := r.mems[1].MustAlloc(64)
+	tgtMD := r.nics[1].AttachMD(tgtRegion, nil, MDPut)
+	r.nics[1].Expose(1, tgtMD)
+	srcRegion := r.mems[0].MustAlloc(8)
+	srcEQ := NewEQ(0)
+	srcMD := r.nics[0].AttachMD(srcRegion, srcEQ, 0)
+	if _, err := srcMD.Put(0, 0, 8, 1, 1, 0, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, srcEQ, EvAck)
+	if r.nics[1].SoftAcks.Value() != 1 {
+		t.Fatalf("soft acks = %d, want 1", r.nics[1].SoftAcks.Value())
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	r := newRig(t, 2, true)
+	tgtRegion := r.mems[1].MustAlloc(128)
+	r.mems[1].LocalWrite(tgtRegion.Offset+16, bytes.Repeat([]byte{0x5A}, 32))
+	tgtEQ := NewEQ(0)
+	tgtMD := r.nics[1].AttachMD(tgtRegion, tgtEQ, MDGet)
+	r.nics[1].Expose(2, tgtMD)
+
+	dstRegion := r.mems[0].MustAlloc(64)
+	dstEQ := NewEQ(0)
+	dstMD := r.nics[0].AttachMD(dstRegion, dstEQ, 0)
+	if err := dstMD.Get(0, 8, 32, 1, 2, 16, 55); err != nil {
+		t.Fatal(err)
+	}
+	ge := waitEvent(t, tgtEQ, EvGetEnd)
+	if ge.Offset != 16 || ge.Length != 32 {
+		t.Fatalf("get event %+v", ge)
+	}
+	re := waitEvent(t, dstEQ, EvReplyEnd)
+	if re.Offset != 8 || re.Length != 32 || re.UserHdr != 55 {
+		t.Fatalf("reply event %+v", re)
+	}
+	got := r.mems[0].Snapshot(dstRegion.Offset+8, 32)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x5A}, 32)) {
+		t.Fatal("get data wrong")
+	}
+}
+
+func TestBadRequestsCounted(t *testing.T) {
+	r := newRig(t, 2, true)
+	srcRegion := r.mems[0].MustAlloc(8)
+	srcMD := r.nics[0].AttachMD(srcRegion, nil, 0)
+	// Unknown portal index.
+	if _, err := srcMD.Put(0, 0, 8, 1, 99, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-bounds target offset.
+	tgtRegion := r.mems[1].MustAlloc(4)
+	tgtMD := r.nics[1].AttachMD(tgtRegion, nil, MDPut)
+	r.nics[1].Expose(1, tgtMD)
+	if _, err := srcMD.Put(0, 0, 8, 1, 1, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Put to a get-only MD.
+	getOnly := r.mems[1].MustAlloc(64)
+	gMD := r.nics[1].AttachMD(getOnly, nil, MDGet)
+	r.nics[1].Expose(2, gMD)
+	if _, err := srcMD.Put(0, 0, 8, 1, 2, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for r.nics[1].BadReq.Value() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("bad requests = %d, want 3", r.nics[1].BadReq.Value())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestPutSourceBoundsChecked(t *testing.T) {
+	r := newRig(t, 2, true)
+	srcRegion := r.mems[0].MustAlloc(8)
+	srcMD := r.nics[0].AttachMD(srcRegion, nil, 0)
+	if _, err := srcMD.Put(0, 4, 8, 1, 0, 0, false, 0); err == nil {
+		t.Fatal("put beyond the source MD should fail locally")
+	}
+	if err := srcMD.Get(0, 6, 4, 1, 0, 0, 0); err == nil {
+		t.Fatal("get beyond the destination MD should fail locally")
+	}
+}
+
+func TestExposeDuplicatePanics(t *testing.T) {
+	r := newRig(t, 1, true)
+	md := r.nics[0].AttachMD(r.mems[0].MustAlloc(8), nil, MDPut)
+	r.nics[0].Expose(1, md)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Expose should panic")
+		}
+	}()
+	r.nics[0].Expose(1, md)
+}
+
+func TestUnexpose(t *testing.T) {
+	r := newRig(t, 2, true)
+	tgtRegion := r.mems[1].MustAlloc(16)
+	md := r.nics[1].AttachMD(tgtRegion, nil, MDPut)
+	r.nics[1].Expose(3, md)
+	r.nics[1].Unexpose(3)
+	srcMD := r.nics[0].AttachMD(r.mems[0].MustAlloc(8), nil, 0)
+	if _, err := srcMD.Put(0, 0, 8, 1, 3, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for r.nics[1].BadReq.Value() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("put through unexposed portal was not rejected")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestEQOverflowFlag(t *testing.T) {
+	q := NewEQ(2)
+	q.post(Event{Type: EvAck})
+	q.post(Event{Type: EvAck})
+	if q.Overflowed() {
+		t.Fatal("premature overflow")
+	}
+	q.post(Event{Type: EvAck})
+	if !q.Overflowed() {
+		t.Fatal("overflow not recorded")
+	}
+	if ev, ok := q.Poll(); !ok || ev.Type != EvAck {
+		t.Fatal("poll failed")
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for ev, want := range map[EventType]string{
+		EvSendEnd: "SEND_END", EvAck: "ACK", EvPutEnd: "PUT_END",
+		EvGetEnd: "GET_END", EvReplyEnd: "REPLY_END",
+	} {
+		if ev.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ev, ev.String(), want)
+		}
+	}
+}
+
+func TestRegisterHandlerDuplicatePanics(t *testing.T) {
+	r := newRig(t, 1, true)
+	r.nics[0].RegisterHandler(200, func(*simnet.Message, vtime.Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate handler registration should panic")
+		}
+	}()
+	r.nics[0].RegisterHandler(200, func(*simnet.Message, vtime.Time) {})
+}

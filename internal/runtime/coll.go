@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// collMask separates collective traffic from user point-to-point traffic:
+// collectives send under commID^collMask so a user Recv with AnyTag can
+// never match them (MPI's separate communication contexts).
+const collMask uint64 = 1 << 63
+
+// nextCollTag reserves a fresh tag namespace for one blocking collective.
+// Each collective may use up to 64 sub-tags (rounds).
+func (c *Comm) nextCollTag() int {
+	seq := c.collSeq
+	c.collSeq++
+	return int(seq * 64)
+}
+
+func (c *Comm) collSend(dst, tag int, data []byte) {
+	c.proc.sendRaw(c.id^collMask, c.WorldRank(dst), tag, data)
+}
+
+func (c *Comm) collRecv(src, tag int) []byte {
+	worldSrc := c.WorldRank(src)
+	data, _ := c.proc.recvRaw(c.id^collMask, worldSrc, tag)
+	return data
+}
+
+// Barrier blocks until every member of the communicator has entered it.
+// It uses the dissemination algorithm: ceil(log2(n)) rounds, each member
+// signalling (rank + 2^k) mod n and waiting for (rank - 2^k) mod n, which
+// transitively orders every exit after every entry — in wall time and in
+// virtual time alike.
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	base := c.nextCollTag()
+	me := c.Rank()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		c.collSend(to, base+round, nil)
+		c.collRecv(from, base+round)
+	}
+}
+
+// Bcast distributes root's data to every member and returns it (members
+// other than root pass nil). It uses a binomial tree rooted at root.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	base := c.nextCollTag()
+	me := c.Rank()
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (me - root + n) % n
+	if vrank != 0 {
+		// Receive from parent: clear the lowest set bit of vrank.
+		parent := (vrank&(vrank-1) + root) % n
+		data = c.collRecv(parent, base)
+	}
+	// Forward to children: vrank + 2^k for each k above vrank's lowest
+	// set bit range.
+	for k := 1; k < n; k <<= 1 {
+		if vrank&(k-1) == 0 && vrank&k == 0 {
+			child := vrank + k
+			if child < n {
+				c.collSend((child+root)%n, base, data)
+			}
+		}
+	}
+	return data
+}
+
+// Gather collects each member's data at root, returned as a per-rank slice
+// (nil on non-root members). Linear: fine at the scales the experiments
+// use.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	base := c.nextCollTag()
+	me := c.Rank()
+	if me != root {
+		c.collSend(root, base, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.collRecv(r, base)
+	}
+	return out
+}
+
+// AllgatherInt64 collects one int64 from each member at every member.
+func (c *Comm) AllgatherInt64(v int64) []int64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	parts := c.Gather(0, buf[:])
+	var flat []byte
+	if c.Rank() == 0 {
+		flat = make([]byte, 0, 8*c.Size())
+		for r, part := range parts {
+			if len(part) != 8 {
+				panic(fmt.Sprintf("runtime: AllgatherInt64: rank %d sent %d bytes", r, len(part)))
+			}
+			flat = append(flat, part...)
+		}
+	}
+	flat = c.Bcast(0, flat)
+	out := make([]int64, c.Size())
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(flat[8*i:]))
+	}
+	return out
+}
+
+// ReduceOp names an allreduce combining operation.
+type ReduceOp int
+
+const (
+	// OpSum adds.
+	OpSum ReduceOp = iota
+	// OpMin takes the minimum.
+	OpMin
+	// OpMax takes the maximum.
+	OpMax
+)
+
+// AllreduceInt64 combines one int64 from each member with op and returns
+// the result at every member.
+func (c *Comm) AllreduceInt64(op ReduceOp, v int64) int64 {
+	all := c.AllgatherInt64(v)
+	acc := all[0]
+	for _, x := range all[1:] {
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		default:
+			panic(fmt.Sprintf("runtime: unknown reduce op %d", op))
+		}
+	}
+	return acc
+}

@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of world ranks with an isolated
+// tag space. Like an MPI communicator, a Comm value is each member's local
+// handle; members obtain matching handles by calling the same constructor
+// collectively in the same order.
+type Comm struct {
+	proc  *Proc
+	id    uint64
+	ranks []int // world ranks, position = comm rank
+	me    int   // this process's world rank
+
+	// collSeq numbers the blocking collectives issued on this handle; all
+	// members advance it in lockstep because collectives are collective.
+	collSeq uint64
+}
+
+// ID returns the communicator id (equal on all members).
+func (c *Comm) ID() uint64 { return c.id }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns this process's rank within the communicator, or -1 if the
+// process is not a member.
+func (c *Comm) Rank() int {
+	for i, r := range c.ranks {
+		if r == c.me {
+			return i
+		}
+	}
+	return -1
+}
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(r int) int {
+	if r < 0 || r >= len(c.ranks) {
+		panic(fmt.Sprintf("runtime: comm rank %d out of range [0,%d)", r, len(c.ranks)))
+	}
+	return c.ranks[r]
+}
+
+// Ranks returns a copy of the member list (world ranks in comm-rank
+// order).
+func (c *Comm) Ranks() []int { return append([]int(nil), c.ranks...) }
+
+// Proc returns the owning process.
+func (c *Comm) Proc() *Proc { return c.proc }
+
+// commID derives the id of a child communicator deterministically from the
+// parent id, a per-parent creation counter, and the member list, so every
+// member computes the same id without communication.
+func commID(parent uint64, counter uint64, ranks []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(parent)
+	put(counter)
+	for _, r := range ranks {
+		put(uint64(r))
+	}
+	// Avoid colliding with the world communicator's fixed id 0.
+	id := h.Sum64()
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Sub creates a child communicator containing the given comm-local ranks
+// of c (in the given order). Every listed member must call Sub with the
+// same list, in the same collective order relative to other Sub calls on
+// c; non-members must not call it. The call involves no communication.
+func (c *Comm) Sub(commRanks []int) *Comm {
+	world := make([]int, len(commRanks))
+	seen := make(map[int]bool, len(commRanks))
+	for i, r := range commRanks {
+		wr := c.WorldRank(r)
+		if seen[wr] {
+			panic(fmt.Sprintf("runtime: duplicate rank %d in Sub", r))
+		}
+		seen[wr] = true
+		world[i] = wr
+	}
+	if !seen[c.me] {
+		panic("runtime: calling process is not a member of the new communicator")
+	}
+	c.proc.mu.Lock()
+	counter := c.proc.commCounters[c.id]
+	c.proc.commCounters[c.id] = counter + 1
+	c.proc.mu.Unlock()
+	return &Comm{
+		proc:  c.proc,
+		id:    commID(c.id, counter, world),
+		ranks: world,
+		me:    c.me,
+	}
+}
+
+// Dup creates a communicator with the same group but an isolated tag
+// space. Collective over all members.
+func (c *Comm) Dup() *Comm {
+	local := make([]int, len(c.ranks))
+	for i := range local {
+		local[i] = i
+	}
+	return c.Sub(local)
+}
+
+// Split partitions c by color, like MPI_Comm_split with key = current
+// rank. All members must call it; members passing the same color end up in
+// the same child communicator, ordered by their rank in c. Collective and
+// communication-free: every member computes every group, but needs the
+// colors of all members, so colors are exchanged via Allgather.
+func (c *Comm) Split(color int) *Comm {
+	colors := c.AllgatherInt64(int64(color))
+	var mine []int
+	for r, col := range colors {
+		if col == int64(color) {
+			mine = append(mine, r)
+		}
+	}
+	sort.Ints(mine)
+	return c.Sub(mine)
+}
+
+// Send ships data to comm rank dst under tag.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.proc.sendRaw(c.id, c.WorldRank(dst), tag, data)
+}
+
+// Recv receives from comm rank src (or AnySource) under tag (or AnyTag),
+// returning the payload and the sender's comm rank.
+func (c *Comm) Recv(src, tag int) ([]byte, int) {
+	worldSrc := AnySource
+	if src != AnySource {
+		worldSrc = c.WorldRank(src)
+	}
+	data, from := c.proc.recvRaw(c.id, worldSrc, tag)
+	for i, r := range c.ranks {
+		if r == from {
+			return data, i
+		}
+	}
+	panic(fmt.Sprintf("runtime: received message on comm %d from non-member world rank %d", c.id, from))
+}

@@ -1,0 +1,356 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+)
+
+func world(t *testing.T, ranks int) *World {
+	t.Helper()
+	w := NewWorld(Config{Ranks: ranks})
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hello"))
+		} else {
+			data, from := p.Recv(0, 7)
+			if string(data) != "hello" || from != 0 {
+				t.Errorf("got %q from %d", data, from)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMatching(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("one"))
+			p.Send(1, 2, []byte("two"))
+			return
+		}
+		// Receive out of send order by tag.
+		two, _ := p.Recv(0, 2)
+		one, _ := p.Recv(0, 1)
+		if string(two) != "two" || string(one) != "one" {
+			t.Errorf("tag matching broken: %q %q", one, two)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := world(t, 3)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() != 0 {
+			p.Send(0, p.Rank(), []byte{byte(p.Rank())})
+			return
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			data, from := p.Recv(AnySource, AnyTag)
+			if len(data) != 1 || int(data[0]) != from {
+				t.Errorf("payload %v from %d", data, from)
+			}
+			seen[from] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("sources seen: %v", seen)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeAdvancesAcrossMessages(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Advance(1000000) // rank 0 is 1ms ahead
+			p.Send(1, 0, nil)
+		} else {
+			before := p.Now()
+			p.Recv(0, 0)
+			if p.Now() <= before || p.Now() < 1000000 {
+				t.Errorf("virtual time did not propagate: %d", p.Now())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, ranks := range []int{2, 3, 5, 8} {
+		ranks := ranks
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			w := world(t, ranks)
+			var entered atomic.Int32
+			err := w.Run(func(p *Proc) {
+				for round := 0; round < 5; round++ {
+					entered.Add(1)
+					p.Barrier()
+					// After the barrier, everyone must have entered
+					// this round.
+					if got := entered.Load(); got < int32((round+1)*ranks) {
+						t.Errorf("rank %d round %d: only %d entries after barrier", p.Rank(), round, got)
+					}
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 7} {
+		ranks := ranks
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			w := world(t, ranks)
+			err := w.Run(func(p *Proc) {
+				for root := 0; root < ranks; root++ {
+					var data []byte
+					if p.Comm().Rank() == root {
+						data = []byte(fmt.Sprintf("from-%d", root))
+					}
+					got := p.Comm().Bcast(root, data)
+					want := fmt.Sprintf("from-%d", root)
+					if string(got) != want {
+						t.Errorf("rank %d: bcast(root=%d) = %q, want %q", p.Rank(), root, got, want)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := world(t, 4)
+	err := w.Run(func(p *Proc) {
+		parts := p.Comm().Gather(2, []byte{byte(p.Rank() * 10)})
+		if p.Rank() != 2 {
+			if parts != nil {
+				t.Errorf("non-root got %v", parts)
+			}
+			return
+		}
+		for r, part := range parts {
+			if len(part) != 1 || part[0] != byte(r*10) {
+				t.Errorf("gathered[%d] = %v", r, part)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherAndAllreduce(t *testing.T) {
+	w := world(t, 5)
+	err := w.Run(func(p *Proc) {
+		all := p.Comm().AllgatherInt64(int64(p.Rank() + 1))
+		for r, v := range all {
+			if v != int64(r+1) {
+				t.Errorf("allgather[%d] = %d", r, v)
+			}
+		}
+		if sum := p.Comm().AllreduceInt64(OpSum, int64(p.Rank()+1)); sum != 15 {
+			t.Errorf("sum = %d, want 15", sum)
+		}
+		if min := p.Comm().AllreduceInt64(OpMin, int64(p.Rank()+1)); min != 1 {
+			t.Errorf("min = %d", min)
+		}
+		if max := p.Comm().AllreduceInt64(OpMax, int64(p.Rank()+1)); max != 5 {
+			t.Errorf("max = %d", max)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSubAndIsolation(t *testing.T) {
+	w := world(t, 4)
+	err := w.Run(func(p *Proc) {
+		comm := p.Comm()
+		if p.Rank() < 2 {
+			sub := comm.Sub([]int{0, 1})
+			if sub.Size() != 2 || sub.Rank() != p.Rank() {
+				t.Errorf("sub size/rank = %d/%d", sub.Size(), sub.Rank())
+			}
+			// Tag spaces are isolated: a message on sub is invisible on
+			// the world comm.
+			if p.Rank() == 0 {
+				sub.Send(1, 5, []byte("sub"))
+				comm.Send(1, 5, []byte("world"))
+			} else {
+				data, _ := comm.Recv(0, 5)
+				if string(data) != "world" {
+					t.Errorf("world recv got %q", data)
+				}
+				data, _ = sub.Recv(0, 5)
+				if string(data) != "sub" {
+					t.Errorf("sub recv got %q", data)
+				}
+			}
+			sub.Barrier()
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplit(t *testing.T) {
+	w := world(t, 6)
+	err := w.Run(func(p *Proc) {
+		sub := p.Comm().Split(p.Rank() % 2)
+		if sub.Size() != 3 {
+			t.Errorf("split size = %d, want 3", sub.Size())
+		}
+		want := p.Rank() / 2
+		if sub.Rank() != want {
+			t.Errorf("split rank = %d, want %d", sub.Rank(), want)
+		}
+		sum := sub.AllreduceInt64(OpSum, int64(p.Rank()))
+		wantSum := int64(0 + 2 + 4)
+		if p.Rank()%2 == 1 {
+			wantSum = 1 + 3 + 5
+		}
+		if sum != wantSum {
+			t.Errorf("split-comm sum = %d, want %d", sum, wantSum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommIDsAgree(t *testing.T) {
+	w := world(t, 3)
+	ids := make([]uint64, 3)
+	err := w.Run(func(p *Proc) {
+		sub := p.Comm().Dup()
+		ids[p.Rank()] = sub.ID()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] == 0 || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatalf("communicator ids disagree: %v", ids)
+	}
+}
+
+func TestLocalMemoryHelpers(t *testing.T) {
+	w := world(t, 1)
+	err := w.Run(func(p *Proc) {
+		r := p.Alloc(32)
+		p.WriteLocal(r, 4, []byte{9, 8, 7})
+		got := p.ReadLocal(r, 4, 3)
+		if !bytes.Equal(got, []byte{9, 8, 7}) {
+			t.Errorf("readback %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLocalBounds(t *testing.T) {
+	w := world(t, 1)
+	err := w.Run(func(p *Proc) {
+		r := p.Alloc(4)
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-region write should panic")
+			}
+		}()
+		p.WriteLocal(r, 2, []byte{1, 2, 3})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsPanics(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("Run should surface the rank panic")
+	}
+}
+
+func TestPerRankByteOrderAndCoherence(t *testing.T) {
+	w := NewWorld(Config{
+		Ranks: 2,
+		ByteOrder: func(r int) datatype.ByteOrder {
+			if r == 1 {
+				return datatype.BigEndian
+			}
+			return datatype.LittleEndian
+		},
+		Coherence: func(r int) memsim.Coherence {
+			if r == 1 {
+				return memsim.NonCoherentWriteThrough
+			}
+			return memsim.Coherent
+		},
+	})
+	defer w.Close()
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			if p.ByteOrder() != datatype.LittleEndian || p.Mem().Coherence() != memsim.Coherent {
+				t.Error("rank 0 config wrong")
+			}
+		} else {
+			if p.ByteOrder() != datatype.BigEndian || p.Mem().Coherence() != memsim.NonCoherentWriteThrough {
+				t.Error("rank 1 config wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtSingleton(t *testing.T) {
+	w := world(t, 1)
+	err := w.Run(func(p *Proc) {
+		a := p.Ext("k", func() any { return new(int) })
+		b := p.Ext("k", func() any { return new(int) })
+		if a != b {
+			t.Error("Ext created two engines for one key")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package runtime provides the MPI-like process runtime the RMA layers run
+// on: a World of ranks (goroutines with private simulated memories joined
+// only by the simulated network), tagged point-to-point messaging,
+// communicators, and the handful of collectives the paper's experiments
+// need (barrier, broadcast, allreduce, gather).
+//
+// Each rank's address space is a memsim.Memory; rank user code receives a
+// *Proc and may touch only its own memory. All inter-rank data motion goes
+// through simnet messages, so one-sided semantics in the layers above are
+// honest: there is no shared Go memory between ranks' user data.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/portals"
+	"mpi3rma/internal/simnet"
+)
+
+// DefaultMemSize is the per-rank memory size when Config.MemSize is 0.
+const DefaultMemSize = 16 << 20
+
+// Config configures a World.
+type Config struct {
+	// Ranks is the number of processes.
+	Ranks int
+	// Ordered selects whether the network preserves per-pair order
+	// (default false in Go zero-value terms, so NewWorld flips the
+	// default: pass UnorderedNet to get an unordered network).
+	UnorderedNet bool
+	// ReorderWindow is the unordered network's scramble window (0 =
+	// default).
+	ReorderWindow int
+	// Seed seeds the network scrambler.
+	Seed int64
+	// Cost overrides the network cost model (zero value = default).
+	Cost simnet.CostModel
+	// SoftwareAcks disables hardware acknowledgement generation,
+	// modelling networks that cannot report remote completion (E4).
+	SoftwareAcks bool
+	// MemSize is the per-rank memory size in bytes (0 = DefaultMemSize).
+	MemSize int
+	// Coherence returns the memory coherence model for a rank; nil means
+	// every rank is cache-coherent.
+	Coherence func(rank int) memsim.Coherence
+	// ByteOrder returns the byte order of a rank; nil means every rank is
+	// little-endian. Mixed worlds model the hybrid systems of Section
+	// III-B3.
+	ByteOrder func(rank int) datatype.ByteOrder
+	// QueueDepth overrides the per-endpoint delivery queue capacity.
+	QueueDepth int
+	// TestHook is passed through to the network for fault injection.
+	TestHook func(*simnet.Message) bool
+}
+
+// World is a set of ranks joined by a simulated network.
+type World struct {
+	cfg   Config
+	net   *simnet.Network
+	procs []*Proc
+}
+
+// NewWorld builds the network, memories, NICs and rank structures.
+func NewWorld(cfg Config) *World {
+	if cfg.Ranks <= 0 {
+		panic("runtime: Config.Ranks must be positive")
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = DefaultMemSize
+	}
+	net := simnet.New(simnet.Config{
+		Ranks:         cfg.Ranks,
+		Ordered:       !cfg.UnorderedNet,
+		ReorderWindow: cfg.ReorderWindow,
+		Seed:          cfg.Seed,
+		Cost:          cfg.Cost,
+		QueueDepth:    cfg.QueueDepth,
+		TestHook:      cfg.TestHook,
+	})
+	w := &World{cfg: cfg, net: net}
+	w.procs = make([]*Proc, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		coh := memsim.Coherent
+		if cfg.Coherence != nil {
+			coh = cfg.Coherence(r)
+		}
+		order := datatype.LittleEndian
+		if cfg.ByteOrder != nil {
+			order = cfg.ByteOrder(r)
+		}
+		mem := memsim.New(memsim.Config{Size: cfg.MemSize, Coherence: coh})
+		nic := portals.NewNIC(net.Endpoint(r), mem, portals.Config{HardwareAcks: !cfg.SoftwareAcks})
+		w.procs[r] = newProc(w, r, nic, mem, order)
+	}
+	return w
+}
+
+// Net returns the underlying network (for counters in tests and benches).
+func (w *World) Net() *simnet.Network { return w.net }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Ranks }
+
+// Proc returns rank r's process structure. Intended for test setup;
+// experiment code receives its own *Proc via Run.
+func (w *World) Proc(r int) *Proc { return w.procs[r] }
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all of them. A panic in any rank is captured and returned immediately as
+// an error naming the rank; the surviving rank goroutines are then leaked
+// rather than deadlocking the caller (Run is intended for tests and
+// benches, where the failure aborts the process anyway).
+func (w *World) Run(fn func(p *Proc)) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, w.cfg.Ranks)
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("rank %d panicked: %v", p.rank, r)
+				}
+			}()
+			fn(p)
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-done:
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+}
+
+// Close stops every rank's NIC agent, shuts down attached layer engines
+// (serializer goroutines), and tears the network down. Call it after all
+// Run invocations are finished.
+func (w *World) Close() {
+	for _, p := range w.procs {
+		p.nic.Stop()
+	}
+	for _, p := range w.procs {
+		p.closeExts()
+	}
+	w.net.Close()
+}

@@ -1,0 +1,258 @@
+// Package serializer provides the target-side mechanisms that enforce the
+// strawman RMA *atomicity* attribute.
+//
+// The paper (Sections III-B1, V, V-A) identifies three ways a target can
+// serialize contending atomic updates when the network itself has no
+// atomic sections:
+//
+//   - A communication thread (implicit or explicit) that applies incoming
+//     operations one at a time — "serialized handling of incoming messages
+//     without the requirement of locks". Cheap. (Figure 2: "Atomicity +
+//     thread serializer".)
+//   - A coarse-grain, MPI-process-level lock the origin must hold across
+//     the update — required on systems like Catamount/Cray XT where user
+//     threads are unavailable and the network library has no active
+//     messages. Expensive. (Figure 2: "Atomicity + coarse grain lock
+//     serializer".) The lock *state machine* lives here; the lock
+//     *protocol* (request/grant/release messages) lives in internal/core.
+//   - Relying on MPI progress: updates are queued and applied only when
+//     the target next enters the library ("with associated loss of
+//     efficiency").
+//
+// Each mechanism carries a virtual-time lane so serialized applies also
+// serialize in modelled time.
+package serializer
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/vtime"
+)
+
+// Mechanism selects how a target enforces the atomicity attribute.
+type Mechanism int
+
+const (
+	// MechThread applies atomic operations on a dedicated handler
+	// goroutine (the communication-thread serializer).
+	MechThread Mechanism = iota
+	// MechCoarseLock requires origins to hold a process-level lock across
+	// the whole operation.
+	MechCoarseLock
+	// MechProgress queues atomic operations until the target calls into
+	// the library (Progress), modelling systems with neither threads nor
+	// active messages.
+	MechProgress
+)
+
+// String returns the mechanism's name as used in figures.
+func (m Mechanism) String() string {
+	switch m {
+	case MechThread:
+		return "thread"
+	case MechCoarseLock:
+		return "coarse-lock"
+	case MechProgress:
+		return "progress"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Task is one deferred atomic update. ready is the virtual time its inputs
+// are available (message delivery time); cost is the modelled duration of
+// the memory update; fn performs the update and is passed the virtual time
+// at which the update completed.
+type Task struct {
+	Ready vtime.Time
+	Cost  vtime.Duration
+	Fn    func(end vtime.Time)
+}
+
+// ApplyQueue is the communication-thread serializer: a goroutine applying
+// tasks strictly in submission order on a single virtual-time lane.
+type ApplyQueue struct {
+	ch   chan Task
+	lane vtime.WorkLane
+	done chan struct{}
+
+	// Applied counts tasks executed.
+	Applied stats.Counter
+}
+
+// DefaultApplyQueueDepth is the submission queue capacity.
+const DefaultApplyQueueDepth = 4096
+
+// NewApplyQueue starts the serializer goroutine.
+func NewApplyQueue() *ApplyQueue {
+	q := &ApplyQueue{
+		ch:   make(chan Task, DefaultApplyQueueDepth),
+		done: make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+func (q *ApplyQueue) run() {
+	defer close(q.done)
+	for t := range q.ch {
+		end := q.lane.Complete(t.Ready, t.Cost)
+		t.Fn(end)
+		q.Applied.Inc()
+	}
+}
+
+// Submit enqueues a task. It blocks only if the queue is full
+// (back-pressure from a badly overloaded serializer).
+func (q *ApplyQueue) Submit(t Task) { q.ch <- t }
+
+// Lane exposes the serializer's virtual-time lane.
+func (q *ApplyQueue) Lane() *vtime.WorkLane { return &q.lane }
+
+// Close stops the serializer after draining queued tasks.
+func (q *ApplyQueue) Close() {
+	close(q.ch)
+	<-q.done
+}
+
+// ProgressQueue is the progress-dependent serializer: tasks accumulate
+// until the target calls Progress.
+type ProgressQueue struct {
+	mu    sync.Mutex
+	tasks []Task
+	lane  vtime.WorkLane
+
+	// quantum models how often the target enters the library: a task
+	// ready at virtual time r is applied no earlier than the next poll
+	// boundary ceil(r/quantum)*quantum. Zero means the target is always
+	// in the library (apply at ready).
+	quantum vtime.Duration
+
+	// Applied counts tasks executed; Deferred counts submissions.
+	Applied  stats.Counter
+	Deferred stats.Counter
+}
+
+// NewProgressQueue returns an empty queue whose target polls every
+// quantum of virtual time (0 = continuously).
+func NewProgressQueue(quantum vtime.Duration) *ProgressQueue {
+	return &ProgressQueue{quantum: quantum}
+}
+
+// quantize rounds t up to the next poll boundary.
+func (q *ProgressQueue) quantize(t vtime.Time) vtime.Time {
+	if q.quantum <= 0 {
+		return t
+	}
+	qn := vtime.Time(q.quantum)
+	return (t + qn - 1) / qn * qn
+}
+
+// Submit queues a task for the target's next Progress call.
+func (q *ProgressQueue) Submit(t Task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+	q.Deferred.Inc()
+}
+
+// Progress applies every queued task in submission order. now is the
+// target's current virtual time: a task cannot complete before the target
+// actually entered the library, which is precisely the inefficiency of
+// this mechanism. It returns the number of tasks applied.
+func (q *ProgressQueue) Progress(now vtime.Time) int {
+	q.mu.Lock()
+	tasks := q.tasks
+	q.tasks = nil
+	q.mu.Unlock()
+	for _, t := range tasks {
+		ready := vtime.Later(q.quantize(t.Ready), now)
+		end := q.lane.Complete(ready, t.Cost)
+		t.Fn(end)
+		q.Applied.Inc()
+	}
+	return len(tasks)
+}
+
+// Pending returns the number of queued tasks.
+func (q *ProgressQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+// LockState is the process-level lock state machine for the coarse-grain
+// serializer. The owning rank's NIC agent drives it from protocol
+// handlers; grants are delivered through the callback passed to Acquire.
+// All methods must be called from a single goroutine (the NIC agent).
+type LockState struct {
+	held    bool
+	holder  int
+	lane    vtime.Clock
+	waiters []lockWaiter
+
+	// Grants counts lock acquisitions; Contended counts acquisitions that
+	// had to wait.
+	Grants    stats.Counter
+	Contended stats.Counter
+}
+
+type lockWaiter struct {
+	origin int
+	at     vtime.Time
+	grant  func(origin int, at vtime.Time)
+}
+
+// NewLockState returns an unheld lock.
+func NewLockState() *LockState { return &LockState{holder: -1} }
+
+// Acquire requests the lock for origin at virtual time at. If the lock is
+// free, grant is invoked immediately (synchronously); otherwise the
+// request queues and grant is invoked from a later Release. The grant
+// callback receives the virtual time at which the lock was granted.
+func (l *LockState) Acquire(origin int, at vtime.Time, grant func(origin int, at vtime.Time)) {
+	if !l.held {
+		l.held = true
+		l.holder = origin
+		l.Grants.Inc()
+		grantAt := l.lane.AdvanceTo(at)
+		grant(origin, grantAt)
+		return
+	}
+	l.Contended.Inc()
+	l.waiters = append(l.waiters, lockWaiter{origin: origin, at: at, grant: grant})
+}
+
+// Release frees the lock at virtual time at and hands it to the next
+// waiter, if any. origin must be the current holder.
+func (l *LockState) Release(origin int, at vtime.Time) error {
+	if !l.held || l.holder != origin {
+		return fmt.Errorf("serializer: release by rank %d but lock held=%v holder=%d", origin, l.held, l.holder)
+	}
+	releaseAt := l.lane.AdvanceTo(at)
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.holder = -1
+		return nil
+	}
+	w := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.holder = w.origin
+	l.Grants.Inc()
+	grantAt := l.lane.AdvanceTo(vtime.Later(releaseAt, w.at))
+	w.grant(w.origin, grantAt)
+	return nil
+}
+
+// Holder returns the current holder's rank, or -1.
+func (l *LockState) Holder() int {
+	if !l.held {
+		return -1
+	}
+	return l.holder
+}
+
+// QueueLen returns the number of waiting origins.
+func (l *LockState) QueueLen() int { return len(l.waiters) }

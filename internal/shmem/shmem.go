@@ -1,0 +1,184 @@
+// Package shmem implements a SHMEM-like library (paper Section II:
+// "Library-based RMA approaches, such as SHMEM and Global Arrays, have
+// been used by a number of important applications") on top of the
+// strawman engine.
+//
+// The mapping is the point: SHMEM's memory and synchronization model is a
+// strict subset of the strawman's attribute space, and the paper derives
+// MPI_RMA_order directly from shmem_fence ("the users may benefit from an
+// operation that orders among sets of RMA operations (similar to
+// shmem_fence)"):
+//
+//	shmem_put        = Put(..., AttrBlocking)        local completion only
+//	shmem_get        = Get(..., AttrBlocking)
+//	shmem_fence      = Order(comm, AllRanks)          ordering, not completion
+//	shmem_quiet      = Complete(comm, AllRanks)       remote completion
+//	shmem_barrier_all= quiet + barrier
+//	symmetric heap   = collectively exposed target_mem of equal size
+//	atomics          = FetchAdd / CompareSwap
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+)
+
+// SHMEM is one rank's library state.
+type SHMEM struct {
+	proc *runtime.Proc
+	eng  *core.Engine
+	// scratch is a reusable bounce buffer for the scalar put/get calls
+	// (the rank memory allocator is a bump allocator; per-call allocation
+	// would leak).
+	mu      sync.Mutex
+	scratch memsim.Region
+}
+
+// extKey is the Proc extension slot.
+const extKey = "shmem"
+
+// Attach returns the rank's SHMEM layer, creating it on first use.
+func Attach(p *runtime.Proc) *SHMEM {
+	return p.Ext(extKey, func() any {
+		return &SHMEM{
+			proc:    p,
+			eng:     core.Attach(p, core.Options{}),
+			scratch: p.Alloc(8),
+		}
+	}).(*SHMEM)
+}
+
+// Engine exposes the underlying strawman engine.
+func (s *SHMEM) Engine() *core.Engine { return s.eng }
+
+// Sym is a symmetric allocation: the same size exists on every member of
+// the communicator (SHMEM's symmetric heap invariant), so a single handle
+// plus a PE number addresses remote memory.
+type Sym struct {
+	comm *runtime.Comm
+	tms  []core.TargetMem
+	// Local is the caller's own slice of the symmetric allocation.
+	Local memsim.Region
+	size  int
+}
+
+// Size returns the symmetric allocation's per-PE size in bytes.
+func (s *Sym) Size() int { return s.size }
+
+// Malloc is shmem_malloc: collective over comm, same size everywhere.
+func (s *SHMEM) Malloc(comm *runtime.Comm, size int) (*Sym, error) {
+	sizes := comm.AllgatherInt64(int64(size))
+	for pe, sz := range sizes {
+		if int(sz) != size {
+			return nil, fmt.Errorf("shmem: asymmetric allocation: PE %d asked for %d bytes, this PE for %d", pe, sz, size)
+		}
+	}
+	tms, region, err := s.eng.ExposeCollective(comm, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Sym{comm: comm, tms: tms, Local: region, size: size}, nil
+}
+
+// Put is shmem_putmem: copy n bytes from the local region src (at srcOff)
+// into PE pe's symmetric memory at off. Returns when the local buffer is
+// reusable; remote completion requires Quiet (or Fence for ordering).
+func (s *SHMEM) Put(sym *Sym, off int, src memsim.Region, srcOff, n, pe int) error {
+	sub := memsim.Region{Offset: src.Offset + srcOff, Size: n}
+	_, err := s.eng.Put(sub, n, datatype.Byte, sym.tms[pe], off, n, datatype.Byte, pe, sym.comm, core.AttrBlocking)
+	return err
+}
+
+// Get is shmem_getmem: copy n bytes from PE pe's symmetric memory at off
+// into dst (at dstOff). Blocking: the data is local on return.
+func (s *SHMEM) Get(sym *Sym, off int, dst memsim.Region, dstOff, n, pe int) error {
+	sub := memsim.Region{Offset: dst.Offset + dstOff, Size: n}
+	_, err := s.eng.Get(sub, n, datatype.Byte, sym.tms[pe], off, n, datatype.Byte, pe, sym.comm, core.AttrBlocking)
+	return err
+}
+
+// Fence is shmem_fence: operations issued after it are applied after
+// operations issued before it, per target — ordering without completion,
+// exactly MPI_RMA_order(comm, ALL_RANKS).
+func (s *SHMEM) Fence(comm *runtime.Comm) error {
+	return s.eng.Order(comm, core.AllRanks)
+}
+
+// Quiet is shmem_quiet: all previously issued operations are complete at
+// their targets — MPI_RMA_complete(comm, ALL_RANKS).
+func (s *SHMEM) Quiet(comm *runtime.Comm) error {
+	return s.eng.Complete(comm, core.AllRanks)
+}
+
+// BarrierAll is shmem_barrier_all: quiet plus a barrier.
+func (s *SHMEM) BarrierAll(comm *runtime.Comm) error {
+	if err := s.Quiet(comm); err != nil {
+		return err
+	}
+	comm.Barrier()
+	return nil
+}
+
+// FetchAdd is shmem_int64_atomic_fetch_add on a symmetric int64.
+func (s *SHMEM) FetchAdd(sym *Sym, off int, delta int64, pe int) (int64, error) {
+	return s.eng.FetchAdd(sym.tms[pe], off, delta, pe, sym.comm, core.AttrNone)
+}
+
+// CompareSwap is shmem_int64_atomic_compare_swap on a symmetric int64.
+func (s *SHMEM) CompareSwap(sym *Sym, off int, compare, swap int64, pe int) (int64, error) {
+	return s.eng.CompareSwap(sym.tms[pe], off, compare, swap, pe, sym.comm, core.AttrNone)
+}
+
+// PutInt64 stores one int64 into PE pe's symmetric memory (shmem_long_p).
+func (s *SHMEM) PutInt64(sym *Sym, off int, v int64, pe int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proc.WriteLocal(s.scratch, 0, encodeInt64(v, s.proc.ByteOrder()))
+	_, err := s.eng.Put(s.scratch, 1, datatype.Int64, sym.tms[pe], off, 1, datatype.Int64, pe, sym.comm, core.AttrBlocking)
+	return err
+}
+
+// GetInt64 fetches one int64 from PE pe's symmetric memory (shmem_long_g).
+func (s *SHMEM) GetInt64(sym *Sym, off int, pe int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.eng.Get(s.scratch, 1, datatype.Int64, sym.tms[pe], off, 1, datatype.Int64, pe, sym.comm, core.AttrBlocking); err != nil {
+		return 0, err
+	}
+	return decodeInt64(s.proc.ReadLocal(s.scratch, 0, 8), s.proc.ByteOrder()), nil
+}
+
+// encodeInt64 renders v in the rank's memory byte order.
+func encodeInt64(v int64, order datatype.ByteOrder) []byte {
+	b := make([]byte, 8)
+	if order == datatype.BigEndian {
+		for i := 0; i < 8; i++ {
+			b[7-i] = byte(v >> (8 * i))
+		}
+		return b
+	}
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// decodeInt64 reads a rank-order int64.
+func decodeInt64(b []byte, order datatype.ByteOrder) int64 {
+	var v int64
+	if order == datatype.BigEndian {
+		for i := 0; i < 8; i++ {
+			v = v<<8 | int64(b[i])
+		}
+		return v
+	}
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | int64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package shmem
+
+import (
+	"bytes"
+	"testing"
+
+	"mpi3rma/internal/runtime"
+)
+
+func newWorld(t *testing.T, ranks int) *runtime.World {
+	t.Helper()
+	w := runtime.NewWorld(runtime.Config{Ranks: ranks})
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestSymmetricMalloc(t *testing.T) {
+	w := newWorld(t, 3)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		sym, err := s.Malloc(p.Comm(), 64)
+		if err != nil {
+			t.Errorf("malloc: %v", err)
+			return
+		}
+		if sym.Size() != 64 || sym.Local.Size != 64 {
+			t.Errorf("sym size %d local %d", sym.Size(), sym.Local.Size)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymmetricMallocRejected(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		size := 64
+		if p.Rank() == 1 {
+			size = 128
+		}
+		if _, err := s.Malloc(p.Comm(), size); err == nil {
+			t.Error("asymmetric malloc accepted")
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutQuietGet(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		comm := p.Comm()
+		sym, err := s.Malloc(comm, 32)
+		if err != nil {
+			t.Errorf("malloc: %v", err)
+			return
+		}
+		if p.Rank() == 0 {
+			src := p.Alloc(32)
+			p.WriteLocal(src, 0, bytes.Repeat([]byte{0xBE}, 32))
+			if err := s.Put(sym, 0, src, 0, 32, 1); err != nil {
+				t.Errorf("put: %v", err)
+			}
+			if err := s.Quiet(comm); err != nil {
+				t.Errorf("quiet: %v", err)
+			}
+		}
+		s.BarrierAll(comm)
+		if p.Rank() == 1 {
+			got := p.Mem().Snapshot(sym.Local.Offset, 32)
+			if !bytes.Equal(got, bytes.Repeat([]byte{0xBE}, 32)) {
+				t.Error("put did not land before quiet returned")
+			}
+			// Get it back from PE 0's (untouched, zero) memory.
+			dst := p.Alloc(32)
+			if err := s.Get(sym, 0, dst, 0, 32, 0); err != nil {
+				t.Errorf("get: %v", err)
+			}
+			if got := p.ReadLocal(dst, 0, 32); !bytes.Equal(got, make([]byte, 32)) {
+				t.Error("get of PE 0's zero memory returned nonzero")
+			}
+		}
+		s.BarrierAll(comm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFenceOrdersPuts: the shmem_fence idiom — flag-after-data — is safe
+// even on an unordered network.
+func TestFenceOrdersPuts(t *testing.T) {
+	w := runtime.NewWorld(runtime.Config{Ranks: 2, UnorderedNet: true, Seed: 5})
+	t.Cleanup(w.Close)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		comm := p.Comm()
+		sym, err := s.Malloc(comm, 16) // [0,8): data, [8,16): flag
+		if err != nil {
+			t.Errorf("malloc: %v", err)
+			return
+		}
+		if p.Rank() == 0 {
+			for round := int64(1); round <= 30; round++ {
+				if err := s.PutInt64(sym, 0, round*100, 1); err != nil {
+					t.Errorf("data put: %v", err)
+				}
+				if err := s.Fence(comm); err != nil {
+					t.Errorf("fence: %v", err)
+				}
+				if err := s.PutInt64(sym, 8, round, 1); err != nil {
+					t.Errorf("flag put: %v", err)
+				}
+				if err := s.Quiet(comm); err != nil {
+					t.Errorf("quiet: %v", err)
+				}
+			}
+			p.Barrier()
+			return
+		}
+		// PE 1 spins on the flag; whenever it observes round r, the data
+		// must already be r*100 (fence guarantees data-before-flag).
+		seen := int64(0)
+		for seen < 30 {
+			flag, err := s.GetInt64(sym, 8, 1) // our own memory via loopback
+			if err != nil {
+				t.Errorf("flag get: %v", err)
+				return
+			}
+			if flag > seen {
+				data, err := s.GetInt64(sym, 0, 1)
+				if err != nil {
+					t.Errorf("data get: %v", err)
+					return
+				}
+				if data < flag*100 {
+					t.Errorf("flag %d visible but data %d (want >= %d): fence failed", flag, data, flag*100)
+					return
+				}
+				seen = flag
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		comm := p.Comm()
+		sym, err := s.Malloc(comm, 8)
+		if err != nil {
+			t.Errorf("malloc: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := s.FetchAdd(sym, 0, 1, 0); err != nil {
+				t.Errorf("fadd: %v", err)
+			}
+		}
+		s.BarrierAll(comm)
+		if p.Rank() == 0 {
+			v, err := s.GetInt64(sym, 0, 0)
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			if v != 40 {
+				t.Errorf("counter = %d, want 40", v)
+			}
+		}
+		p.Barrier() // verification before anyone's CAS mutates the counter
+		// CAS: exactly one winner swaps 40 -> 99.
+		old, err := s.CompareSwap(sym, 0, 40, 99, 0)
+		if err != nil {
+			t.Errorf("cas: %v", err)
+		}
+		wins := int64(0)
+		if old == 40 {
+			wins = 1
+		}
+		total := comm.AllreduceInt64(runtime.OpSum, wins)
+		if total != 1 {
+			t.Errorf("%d CAS winners, want 1", total)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetInt64Roundtrip(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(p *runtime.Proc) {
+		s := Attach(p)
+		comm := p.Comm()
+		sym, err := s.Malloc(comm, 8)
+		if err != nil {
+			t.Errorf("malloc: %v", err)
+			return
+		}
+		if p.Rank() == 0 {
+			if err := s.PutInt64(sym, 0, -123456789, 1); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		s.BarrierAll(comm)
+		v, err := s.GetInt64(sym, 0, 1)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		if v != -123456789 {
+			t.Errorf("value = %d", v)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

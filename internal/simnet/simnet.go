@@ -1,0 +1,441 @@
+// Package simnet simulates the interconnect of a distributed-memory
+// machine.
+//
+// The paper's evaluation ran over the Cray XT5's SeaStar network via the
+// Portals library; its discussion (Section III-B) also covers networks
+// without message ordering (Quadrics QSNetII/III) and networks without
+// remote-completion events. simnet reproduces exactly those axes:
+//
+//   - Ordered vs unordered delivery per (source, destination) pair. The
+//     unordered mode scrambles bursts of in-flight messages through a
+//     bounded reorder window, as a multi-rail or adaptively-routed network
+//     would.
+//   - A LogGP-style cost model (latency L, per-message overhead o, gap g,
+//     per-byte cost G) that drives the virtual-time account described in
+//     DESIGN.md. Every send computes when the message left the origin NIC
+//     and when it arrives at the target NIC in virtual time.
+//
+// simnet moves bytes between endpoints; protocol (acknowledgements, match
+// lists, event queues) lives above it in internal/portals.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/vtime"
+)
+
+// CostModel is a LogGP-style account of transfer costs, used for the
+// virtual-time clocks. All fields are durations of virtual time.
+type CostModel struct {
+	// Latency is the wire latency L from NIC to NIC.
+	Latency time.Duration
+	// Overhead is the per-message CPU software overhead o paid at the
+	// origin when injecting (the dominant term of a mid-2000s MPI put).
+	Overhead time.Duration
+	// DeliverOverhead is the per-message cost of the target NIC's ingress
+	// engine; it is paid on the shared delivery lane and is much smaller
+	// than Overhead (the NIC, not the CPU, handles arrivals).
+	DeliverOverhead time.Duration
+	// Gap is the minimum interval g between consecutive injections at one
+	// NIC (the injection-rate limit).
+	Gap time.Duration
+	// PerKB is the cost G of moving 1024 payload bytes across the wire
+	// (expressed per KB so sub-nanosecond per-byte rates stay exact in
+	// integer arithmetic; 512ns/KB ≈ 2 GB/s).
+	PerKB time.Duration
+}
+
+// byteCost returns n bytes' worth of a per-KB rate.
+func byteCost(n int, perKB time.Duration) time.Duration {
+	return time.Duration(int64(n) * int64(perKB) / 1024)
+}
+
+// DefaultCost approximates a mid-2000s HPC interconnect of the XT5 class:
+// a few microseconds of put latency and ~2 GB/s of per-link bandwidth.
+// Absolute values are not calibrated to the paper's testbed (see
+// EXPERIMENTS.md); the ratios are what matter.
+func DefaultCost() CostModel {
+	return CostModel{
+		Latency:         1500 * time.Nanosecond,
+		Overhead:        2000 * time.Nanosecond,
+		DeliverOverhead: 300 * time.Nanosecond,
+		Gap:             100 * time.Nanosecond,
+		PerKB:           512 * time.Nanosecond,
+	}
+}
+
+// Wire returns the wire time for an n-byte payload: L + n*G.
+func (c CostModel) Wire(n int) time.Duration {
+	return c.Latency + byteCost(n, c.PerKB)
+}
+
+// Deliver returns the target-side ingress cost for an n-byte payload:
+// the NIC's per-message overhead plus DMA into memory.
+func (c CostModel) Deliver(n int) time.Duration {
+	return c.DeliverOverhead + byteCost(n, c.PerKB)
+}
+
+// Inject returns the origin-side injection cost for an n-byte payload:
+// o + g + n*G (software overhead, injection gap, and the CPU/DMA cost of
+// moving the payload out of the user buffer).
+func (c CostModel) Inject(n int) time.Duration {
+	return c.Overhead + c.Gap + byteCost(n, c.PerKB)
+}
+
+// Config configures a Network.
+type Config struct {
+	// Ranks is the number of endpoints.
+	Ranks int
+	// Ordered selects whether the network preserves per-(src,dst) message
+	// order (true: XT5/SeaStar-like; false: QSNet-like adaptive routing).
+	Ordered bool
+	// ReorderWindow bounds how many in-flight messages the unordered mode
+	// may scramble at once. 0 means DefaultReorderWindow. Ignored when
+	// Ordered.
+	ReorderWindow int
+	// Seed seeds the deterministic scrambler of the unordered mode.
+	Seed int64
+	// Cost is the virtual-time cost model; the zero value means
+	// DefaultCost().
+	Cost CostModel
+	// QueueDepth is the per-endpoint delivery queue capacity; 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// TestHook, if non-nil, sees every message at send time and may mutate
+	// it or return false to drop it. Only tests set this; dropping
+	// messages on a reliable network is a fault-injection facility.
+	TestHook func(*Message) bool
+}
+
+// DefaultReorderWindow is the unordered-mode scramble window when
+// Config.ReorderWindow is 0.
+const DefaultReorderWindow = 8
+
+// DefaultQueueDepth is the per-endpoint delivery queue capacity when
+// Config.QueueDepth is 0.
+const DefaultQueueDepth = 1024
+
+// Message is one network message. Kind, Flags and Hdr are opaque to simnet;
+// the layers above define their meaning.
+type Message struct {
+	// Src and Dst are origin and target endpoint ids.
+	Src, Dst int
+	// Kind tags the protocol message type (defined by the layer above).
+	Kind uint8
+	// Flags carries protocol flags (defined by the layer above).
+	Flags uint8
+	// Seq is the per-(src,dst) sequence number simnet assigns at send
+	// time, counting from 1. Ordering enforcement above simnet uses it.
+	Seq uint64
+	// Hdr carries op-specific header words (offsets, counts, op codes).
+	Hdr [6]uint64
+	// Payload is the message body. simnet does not copy it; senders must
+	// not reuse the slice after Send.
+	Payload []byte
+	// SentAt is the virtual time the message left the origin NIC.
+	SentAt vtime.Time
+	// ArriveAt is the virtual time the message arrives at the target NIC.
+	ArriveAt vtime.Time
+}
+
+// Network is a simulated interconnect between Ranks endpoints.
+type Network struct {
+	cfg  Config
+	eps  []*Endpoint
+	wg   sync.WaitGroup
+	once sync.Once
+
+	// Counters for tests and the benchmark harness.
+	Msgs  stats.Counter
+	Bytes stats.Counter
+}
+
+// New constructs a network and its endpoints.
+func New(cfg Config) *Network {
+	if cfg.Ranks <= 0 {
+		panic("simnet: Config.Ranks must be positive")
+	}
+	if cfg.ReorderWindow == 0 {
+		cfg.ReorderWindow = DefaultReorderWindow
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if (cfg.Cost == CostModel{}) {
+		cfg.Cost = DefaultCost()
+	}
+	n := &Network{cfg: cfg}
+	n.eps = make([]*Endpoint, cfg.Ranks)
+	for i := range n.eps {
+		n.eps[i] = newEndpoint(n, i, cfg)
+	}
+	return n
+}
+
+// Cost returns the network's cost model.
+func (n *Network) Cost() CostModel { return n.cfg.Cost }
+
+// Ordered reports whether the network preserves per-pair message order.
+func (n *Network) Ordered() bool { return n.cfg.Ordered }
+
+// Ranks returns the number of endpoints.
+func (n *Network) Ranks() int { return n.cfg.Ranks }
+
+// Endpoint returns endpoint id.
+func (n *Network) Endpoint(id int) *Endpoint {
+	return n.eps[id]
+}
+
+// Close shuts the network down. It must be called only after every sender
+// and every consumer (rank agent) has stopped. Messages still in flight are
+// drained and discarded.
+func (n *Network) Close() {
+	n.once.Do(func() {
+		for _, ep := range n.eps {
+			ep.closeInput()
+		}
+		// Drain delivery queues so unordered-mode scramblers can flush and
+		// exit even if no agent is consuming anymore.
+		var drainers sync.WaitGroup
+		for _, ep := range n.eps {
+			drainers.Add(1)
+			go func(ep *Endpoint) {
+				defer drainers.Done()
+				for range ep.in {
+				}
+			}(ep)
+		}
+		n.wg.Wait()
+		for _, ep := range n.eps {
+			close(ep.in)
+		}
+		drainers.Wait()
+	})
+}
+
+// Endpoint is one rank's NIC.
+type Endpoint struct {
+	id  int
+	net *Network
+	cfg Config
+
+	// inject serializes virtual-time injection at this NIC.
+	inject vtime.Clock
+	// deliver is the NIC's shared ingress lane: every arriving message
+	// demands per-message overhead plus per-byte DMA time of it.
+	deliver vtime.WorkLane
+
+	// in is the delivery queue the rank's agent consumes.
+	in chan *Message
+
+	// scramble is the unordered-mode intake; a scrambler goroutine moves
+	// messages from scramble to in, reordering within the window.
+	scramble chan *Message
+
+	mu      sync.Mutex
+	nextSeq []uint64 // per-destination next sequence number
+	closed  bool
+}
+
+func newEndpoint(n *Network, id int, cfg Config) *Endpoint {
+	ep := &Endpoint{
+		id:      id,
+		net:     n,
+		cfg:     cfg,
+		in:      make(chan *Message, cfg.QueueDepth),
+		nextSeq: make([]uint64, cfg.Ranks),
+	}
+	if !cfg.Ordered {
+		ep.scramble = make(chan *Message, cfg.QueueDepth)
+		n.wg.Add(1)
+		go ep.scrambler(cfg.Seed + int64(id)*7919)
+	}
+	return ep
+}
+
+// ID returns the endpoint's rank id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Cost returns the network's cost model.
+func (ep *Endpoint) Cost() CostModel { return ep.cfg.Cost }
+
+// Ordered reports whether the network preserves per-pair message order.
+func (ep *Endpoint) Ordered() bool { return ep.cfg.Ordered }
+
+// Ranks returns the number of endpoints in the network.
+func (ep *Endpoint) Ranks() int { return ep.cfg.Ranks }
+
+// InjectClock exposes the endpoint's origin-side virtual clock (used by
+// tests and the harness to read per-rank injection time).
+func (ep *Endpoint) InjectClock() *vtime.Clock { return &ep.inject }
+
+// DeliverLane exposes the endpoint's target-side ingress lane.
+func (ep *Endpoint) DeliverLane() *vtime.WorkLane { return &ep.deliver }
+
+// Send injects m into the network at virtual time now and returns the
+// message's arrival time at the target NIC. simnet assigns m.Seq, m.SentAt
+// and m.ArriveAt. Send never blocks for virtual time; it blocks only if the
+// target's delivery queue is full (back-pressure).
+func (ep *Endpoint) Send(now vtime.Time, m *Message) (vtime.Time, error) {
+	if m.Dst < 0 || m.Dst >= ep.cfg.Ranks {
+		return 0, fmt.Errorf("simnet: send to invalid rank %d (network has %d)", m.Dst, ep.cfg.Ranks)
+	}
+	m.Src = ep.id
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return 0, fmt.Errorf("simnet: endpoint %d is closed", ep.id)
+	}
+	ep.nextSeq[m.Dst]++
+	m.Seq = ep.nextSeq[m.Dst]
+	ep.mu.Unlock()
+
+	cost := ep.cfg.Cost
+	_, sent := ep.inject.Reserve(now, cost.Inject(len(m.Payload)))
+	m.SentAt = sent
+	m.ArriveAt = sent + vtime.Time(cost.Wire(len(m.Payload)))
+
+	ep.net.Msgs.Inc()
+	ep.net.Bytes.Add(int64(len(m.Payload)))
+
+	if hook := ep.cfg.TestHook; hook != nil {
+		if !hook(m) {
+			return m.ArriveAt, nil // dropped by fault injection
+		}
+	}
+
+	dst := ep.net.eps[m.Dst]
+	if ep.cfg.Ordered {
+		dst.in <- m
+	} else {
+		dst.scramble <- m
+	}
+	return m.ArriveAt, nil
+}
+
+// SendNIC injects a NIC-generated control message (a hardware
+// acknowledgement or get reply) at virtual time sentAt. Unlike Send it does
+// not charge the origin CPU's injection overhead or gap: the NIC firmware
+// produces the message, not the processor. Sequence numbers are still
+// assigned so ordering layers see a consistent stream.
+func (ep *Endpoint) SendNIC(sentAt vtime.Time, m *Message) (vtime.Time, error) {
+	if m.Dst < 0 || m.Dst >= ep.cfg.Ranks {
+		return 0, fmt.Errorf("simnet: send to invalid rank %d (network has %d)", m.Dst, ep.cfg.Ranks)
+	}
+	m.Src = ep.id
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return 0, fmt.Errorf("simnet: endpoint %d is closed", ep.id)
+	}
+	ep.nextSeq[m.Dst]++
+	m.Seq = ep.nextSeq[m.Dst]
+	ep.mu.Unlock()
+
+	m.SentAt = sentAt
+	m.ArriveAt = sentAt + vtime.Time(ep.cfg.Cost.Wire(len(m.Payload)))
+
+	ep.net.Msgs.Inc()
+	ep.net.Bytes.Add(int64(len(m.Payload)))
+
+	if hook := ep.cfg.TestHook; hook != nil {
+		if !hook(m) {
+			return m.ArriveAt, nil
+		}
+	}
+
+	dst := ep.net.eps[m.Dst]
+	if ep.cfg.Ordered {
+		dst.in <- m
+	} else {
+		dst.scramble <- m
+	}
+	return m.ArriveAt, nil
+}
+
+// Recv blocks until a message is delivered to this endpoint, returning
+// false when the network has been closed and the queue drained.
+func (ep *Endpoint) Recv() (*Message, bool) {
+	m, ok := <-ep.in
+	return m, ok
+}
+
+// TryRecv returns the next delivered message without blocking, or nil.
+func (ep *Endpoint) TryRecv() *Message {
+	select {
+	case m := <-ep.in:
+		return m
+	default:
+		return nil
+	}
+}
+
+// Queue exposes the delivery channel for select-based agents.
+func (ep *Endpoint) Queue() <-chan *Message { return ep.in }
+
+// closeInput marks the endpoint closed for senders and, in unordered mode,
+// closes the scramble intake so the scrambler can flush and exit.
+func (ep *Endpoint) closeInput() {
+	ep.mu.Lock()
+	wasClosed := ep.closed
+	ep.closed = true
+	ep.mu.Unlock()
+	if !wasClosed && ep.scramble != nil {
+		close(ep.scramble)
+	}
+}
+
+// scrambler implements unordered delivery: it buffers up to the reorder
+// window of in-flight messages and releases them in deterministic-random
+// order. Per-message delivery remains reliable; only ordering is lost.
+func (ep *Endpoint) scrambler(seed int64) {
+	defer ep.net.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	window := ep.cfg.ReorderWindow
+	var buf []*Message
+	for {
+		if len(buf) == 0 {
+			m, ok := <-ep.scramble
+			if !ok {
+				return
+			}
+			buf = append(buf, m)
+		}
+		// Opportunistically gather more of the burst, up to the window.
+		for len(buf) < window {
+			select {
+			case m, ok := <-ep.scramble:
+				if !ok {
+					ep.flush(rng, buf)
+					return
+				}
+				buf = append(buf, m)
+			default:
+				goto release
+			}
+		}
+	release:
+		i := rng.Intn(len(buf))
+		ep.in <- buf[i]
+		buf[i] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+	}
+}
+
+// flush releases the remaining scramble buffer in random order at
+// shutdown.
+func (ep *Endpoint) flush(rng *rand.Rand, buf []*Message) {
+	for len(buf) > 0 {
+		i := rng.Intn(len(buf))
+		ep.in <- buf[i]
+		buf[i] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+	}
+}

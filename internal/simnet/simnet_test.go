@@ -1,0 +1,249 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"mpi3rma/internal/vtime"
+)
+
+func TestOrderedDeliveryPreservesPairOrder(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		m := &Message{Dst: 1, Kind: 99}
+		m.Hdr[0] = uint64(i)
+		if _, err := src.Send(0, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		m, ok := dst.Recv()
+		if !ok {
+			t.Fatal("channel closed early")
+		}
+		if int(m.Hdr[0]) != i {
+			t.Fatalf("message %d arrived out of order (got %d)", i, m.Hdr[0])
+		}
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", m.Seq, i+1)
+		}
+	}
+}
+
+func TestUnorderedDeliveryScrambles(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: false, Seed: 1})
+	defer n.Close()
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		m := &Message{Dst: 1}
+		m.Hdr[0] = uint64(i)
+		if _, err := src.Send(0, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inOrder := true
+	seen := make(map[uint64]bool)
+	for i := 0; i < msgs; i++ {
+		m, ok := dst.Recv()
+		if !ok {
+			t.Fatal("channel closed early")
+		}
+		if int(m.Hdr[0]) != i {
+			inOrder = false
+		}
+		if seen[m.Hdr[0]] {
+			t.Fatalf("duplicate delivery of %d", m.Hdr[0])
+		}
+		seen[m.Hdr[0]] = true
+	}
+	if inOrder {
+		t.Fatal("unordered network delivered 200 messages in exact order")
+	}
+	if len(seen) != msgs {
+		t.Fatalf("delivered %d distinct messages, want %d (reliability)", len(seen), msgs)
+	}
+}
+
+func TestUnorderedReliableUnderLoad(t *testing.T) {
+	n := New(Config{Ranks: 3, Ordered: false, Seed: 2})
+	defer n.Close()
+	const per = 500
+	done := make(chan int, 2)
+	for s := 0; s < 2; s++ {
+		go func(s int) {
+			ep := n.Endpoint(s)
+			for i := 0; i < per; i++ {
+				m := &Message{Dst: 2}
+				if _, err := ep.Send(0, m); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+			done <- s
+		}(s)
+	}
+	got := 0
+	dst := n.Endpoint(2)
+	for got < 2*per {
+		if _, ok := dst.Recv(); !ok {
+			t.Fatal("closed early")
+		}
+		got++
+	}
+	<-done
+	<-done
+}
+
+func TestVirtualTimesMonotonePerSender(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	src := n.Endpoint(0)
+	var prevSent, prevArrive vtime.Time
+	for i := 0; i < 50; i++ {
+		m := &Message{Dst: 1, Payload: make([]byte, 64)}
+		arrive, err := src.Send(0, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.SentAt <= prevSent {
+			t.Fatalf("SentAt not strictly increasing: %d then %d", prevSent, m.SentAt)
+		}
+		if arrive != m.ArriveAt || arrive <= prevArrive {
+			t.Fatalf("ArriveAt inconsistent")
+		}
+		if m.ArriveAt-m.SentAt != vtime.Time(n.Cost().Wire(64)) {
+			t.Fatalf("wire time = %d, want %v", m.ArriveAt-m.SentAt, n.Cost().Wire(64))
+		}
+		prevSent, prevArrive = m.SentAt, m.ArriveAt
+	}
+	// Drain.
+	for i := 0; i < 50; i++ {
+		n.Endpoint(1).Recv()
+	}
+}
+
+func TestSendNICSkipsInjection(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	src := n.Endpoint(0)
+	before := src.InjectClock().Now()
+	m := &Message{Dst: 1}
+	if _, err := src.SendNIC(1000, m); err != nil {
+		t.Fatal(err)
+	}
+	if src.InjectClock().Now() != before {
+		t.Fatal("SendNIC charged the inject clock")
+	}
+	if m.SentAt != 1000 {
+		t.Fatalf("SentAt = %d, want 1000", m.SentAt)
+	}
+	n.Endpoint(1).Recv()
+}
+
+func TestSendValidation(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	if _, err := n.Endpoint(0).Send(0, &Message{Dst: 5}); err == nil {
+		t.Fatal("send to invalid rank should fail")
+	}
+	if _, err := n.Endpoint(0).SendNIC(0, &Message{Dst: -1}); err == nil {
+		t.Fatal("SendNIC to invalid rank should fail")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	n.Close()
+	if _, err := n.Endpoint(0).Send(0, &Message{Dst: 1}); err == nil {
+		t.Fatal("send on closed network should fail")
+	}
+}
+
+func TestTestHookDropsMessages(t *testing.T) {
+	dropped := 0
+	n := New(Config{
+		Ranks:   2,
+		Ordered: true,
+		TestHook: func(m *Message) bool {
+			if m.Kind == 7 {
+				dropped++
+				return false
+			}
+			return true
+		},
+	})
+	defer n.Close()
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	src.Send(0, &Message{Dst: 1, Kind: 7})
+	src.Send(0, &Message{Dst: 1, Kind: 8})
+	m, ok := dst.Recv()
+	if !ok || m.Kind != 8 {
+		t.Fatalf("got kind %d, want the undropped 8", m.Kind)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	n.Endpoint(0).Send(0, &Message{Dst: 1, Payload: make([]byte, 100)})
+	n.Endpoint(0).Send(0, &Message{Dst: 1, Payload: make([]byte, 28)})
+	if n.Msgs.Value() != 2 || n.Bytes.Value() != 128 {
+		t.Fatalf("msgs=%d bytes=%d, want 2/128", n.Msgs.Value(), n.Bytes.Value())
+	}
+	n.Endpoint(1).Recv()
+	n.Endpoint(1).Recv()
+}
+
+func TestCostModel(t *testing.T) {
+	c := DefaultCost()
+	if c.Wire(0) != c.Latency {
+		t.Error("zero-byte wire time should be pure latency")
+	}
+	if c.Wire(1024)-c.Wire(0) != c.PerKB {
+		t.Error("1KB should cost exactly PerKB over latency")
+	}
+	if c.Inject(0) != c.Overhead+c.Gap {
+		t.Error("zero-byte inject should be o+g")
+	}
+	if c.Deliver(2048) != c.DeliverOverhead+2*c.PerKB {
+		t.Error("2KB deliver cost wrong")
+	}
+	// Sub-KB costs must not truncate to zero when PerKB is large enough.
+	if c.Wire(512)-c.Latency == 0 {
+		t.Error("512B wire cost truncated to zero")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: false, Seed: 3})
+	n.Endpoint(0).Send(0, &Message{Dst: 1})
+	n.Close()
+	n.Close() // must not panic or deadlock
+}
+
+func TestTryRecvAndQueue(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	dst := n.Endpoint(1)
+	if m := dst.TryRecv(); m != nil {
+		t.Fatal("TryRecv on empty queue should return nil")
+	}
+	n.Endpoint(0).Send(0, &Message{Dst: 1})
+	deadline := time.After(time.Second)
+	for {
+		if m := dst.TryRecv(); m != nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("message never delivered")
+		default:
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace is a lightweight per-rank protocol event recorder — the
+// observability layer a production RMA implementation ships with. Layers
+// that want tracing (the strawman engine exposes SetTracer) append typed
+// events into a bounded ring; tests and tools snapshot the ring to check
+// or display protocol timelines in virtual time.
+//
+// Recording is lock-protected and allocation-light; a nil *Ring is a
+// valid no-op recorder so call sites need no nil checks.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mpi3rma/internal/vtime"
+)
+
+// Event is one recorded protocol step.
+type Event struct {
+	// At is the virtual time of the event.
+	At vtime.Time
+	// Cat is a short category ("issue", "apply", "ack", "probe", ...).
+	Cat string
+	// Peer is the other rank involved (-1 if none).
+	Peer int
+	// Detail is a short free-form description.
+	Detail string
+}
+
+// String renders the event for timeline dumps.
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%10d %-8s peer=%-3d %s", e.At, e.Cat, e.Peer, e.Detail)
+	}
+	return fmt.Sprintf("%10d %-8s          %s", e.At, e.Cat, e.Detail)
+}
+
+// Ring is a bounded event recorder. The zero value is unusable; use New.
+// A nil *Ring discards events.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	filled bool
+
+	// Dropped counts events discarded after the ring wrapped (the
+	// earliest events are overwritten, so Dropped is the overwrite
+	// count).
+	dropped int64
+}
+
+// DefaultCapacity is the ring size used by New(0).
+const DefaultCapacity = 4096
+
+// New returns a ring holding up to capacity events (0 = DefaultCapacity).
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// Record appends an event; on a nil ring it is a no-op.
+func (r *Ring) Record(at vtime.Time, cat string, peer int, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.filled {
+		r.dropped++
+	}
+	r.events[r.next] = Event{At: at, Cat: cat, Peer: peer, Detail: detail}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Recordf is Record with a formatted detail.
+func (r *Ring) Recordf(at vtime.Time, cat string, peer int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(at, cat, peer, fmt.Sprintf(format, args...))
+}
+
+// Snapshot returns the recorded events in recording order (oldest first).
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.filled {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (r *Ring) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ByVirtualTime returns a snapshot sorted by virtual time (stable, so
+// equal timestamps keep recording order).
+func (r *Ring) ByVirtualTime() []Event {
+	out := r.Snapshot()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Timeline renders the events sorted by virtual time, one per line.
+func (r *Ring) Timeline() string {
+	var sb strings.Builder
+	for _, e := range r.ByVirtualTime() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CountByCat tallies events per category, for test assertions.
+func (r *Ring) CountByCat() map[string]int {
+	counts := make(map[string]int)
+	for _, e := range r.Snapshot() {
+		counts[e.Cat]++
+	}
+	return counts
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Record(0, "x", -1, "")
+	r.Recordf(0, "x", -1, "%d", 1)
+	if r.Snapshot() != nil || r.Dropped() != 0 {
+		t.Fatal("nil ring should discard everything")
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	r := New(8)
+	r.Record(10, "issue", 1, "put")
+	r.Record(20, "apply", 0, "put")
+	r.Recordf(30, "probe", 1, "threshold=%d", 5)
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot has %d events", len(evs))
+	}
+	if evs[0].Cat != "issue" || evs[2].Detail != "threshold=5" {
+		t.Fatalf("events %v", evs)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("nothing should be dropped yet")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(0, "e", i, "")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("wrapped ring holds %d events, want 4", len(evs))
+	}
+	// The four newest survive, oldest first.
+	for i, e := range evs {
+		if e.Peer != 6+i {
+			t.Fatalf("event %d peer = %d, want %d", i, e.Peer, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestByVirtualTimeAndTimeline(t *testing.T) {
+	r := New(8)
+	r.Record(30, "late", -1, "c")
+	r.Record(10, "early", 1, "a")
+	r.Record(20, "mid", -1, "b")
+	sorted := r.ByVirtualTime()
+	if sorted[0].Cat != "early" || sorted[2].Cat != "late" {
+		t.Fatalf("sorted %v", sorted)
+	}
+	tl := r.Timeline()
+	if !strings.Contains(tl, "early") || strings.Index(tl, "early") > strings.Index(tl, "late") {
+		t.Fatalf("timeline order wrong:\n%s", tl)
+	}
+	if !strings.Contains(tl, "peer=1") {
+		t.Fatalf("timeline missing peer:\n%s", tl)
+	}
+}
+
+func TestCountByCat(t *testing.T) {
+	r := New(0)
+	r.Record(0, "a", -1, "")
+	r.Record(0, "a", -1, "")
+	r.Record(0, "b", -1, "")
+	counts := r.CountByCat()
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(0, "e", -1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Snapshot()); got != 800 {
+		t.Fatalf("recorded %d of 800", got)
+	}
+}

@@ -1,0 +1,193 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", got)
+	}
+}
+
+func TestAdvanceToMonotone(t *testing.T) {
+	var c Clock
+	if got := c.AdvanceTo(100); got != 100 {
+		t.Fatalf("AdvanceTo(100) = %d, want 100", got)
+	}
+	if got := c.AdvanceTo(50); got != 100 {
+		t.Fatalf("AdvanceTo(50) after 100 = %d, want 100 (clocks never go back)", got)
+	}
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %d, want 100", got)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var c Clock
+	c.Add(30)
+	c.Add(12)
+	if got := c.Now(); got != 42 {
+		t.Fatalf("Now() = %d, want 42", got)
+	}
+}
+
+func TestReserveSemantics(t *testing.T) {
+	var c Clock
+	start, end := c.Reserve(10, 5)
+	if start != 10 || end != 15 {
+		t.Fatalf("Reserve(10,5) on empty clock = (%d,%d), want (10,15)", start, end)
+	}
+	// Resource busy until 15; a task ready at 12 starts at 15.
+	start, end = c.Reserve(12, 5)
+	if start != 15 || end != 20 {
+		t.Fatalf("Reserve(12,5) = (%d,%d), want (15,20)", start, end)
+	}
+	// A task ready far in the future starts at its ready time.
+	start, end = c.Reserve(100, 1)
+	if start != 100 || end != 101 {
+		t.Fatalf("Reserve(100,1) = (%d,%d), want (100,101)", start, end)
+	}
+}
+
+// TestReserveConcurrentNonOverlap: concurrent reservations never overlap —
+// the total reserved span equals the sum of durations once the clock is
+// saturated.
+func TestReserveConcurrentNonOverlap(t *testing.T) {
+	var c Clock
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	spans := make([][][2]Time, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s, e := c.Reserve(0, 3)
+				spans[w] = append(spans[w], [2]Time{s, e})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Now(), Time(workers*per*3); got != want {
+		t.Fatalf("saturated clock at %d, want %d", got, want)
+	}
+	seen := make(map[Time]bool)
+	for _, ws := range spans {
+		for _, sp := range ws {
+			if sp[1]-sp[0] != 3 {
+				t.Fatalf("span %v has wrong width", sp)
+			}
+			if seen[sp[0]] {
+				t.Fatalf("two reservations started at %d", sp[0])
+			}
+			seen[sp[0]] = true
+		}
+	}
+}
+
+func TestLater(t *testing.T) {
+	if Later(3, 5) != 5 || Later(5, 3) != 5 || Later(4, 4) != 4 {
+		t.Fatal("Later is not max")
+	}
+}
+
+// Property: Reserve start is never before ready, and end-start == d.
+func TestReserveProperties(t *testing.T) {
+	var c Clock
+	f := func(readyRaw uint16, dRaw uint8) bool {
+		ready := Time(readyRaw)
+		d := Duration(dRaw)
+		start, end := c.Reserve(ready, d)
+		return start >= ready && end-start == Time(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AdvanceTo returns max(now, t) and Now never decreases.
+func TestAdvanceToProperties(t *testing.T) {
+	var c Clock
+	prev := Time(0)
+	f := func(raw uint32) bool {
+		tgt := Time(raw)
+		got := c.AdvanceTo(tgt)
+		ok := got >= tgt || got >= prev
+		if got < prev {
+			return false
+		}
+		prev = got
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkLaneLightLoad(t *testing.T) {
+	var l WorkLane
+	// A task ready at 1000 with the lane nearly idle completes at ready+d.
+	if got := l.Complete(1000, 5); got != 1005 {
+		t.Fatalf("Complete(1000,5) = %d, want 1005", got)
+	}
+}
+
+func TestWorkLaneSaturation(t *testing.T) {
+	var l WorkLane
+	// Many tasks all ready at ~0: completions converge to cumulative work.
+	var last Time
+	for i := 0; i < 100; i++ {
+		last = l.Complete(0, 7)
+	}
+	if want := Time(700); last != want {
+		t.Fatalf("100 saturating tasks end at %d, want %d", last, want)
+	}
+	if l.Work() != 700 {
+		t.Fatalf("Work() = %v, want 700", l.Work())
+	}
+}
+
+// Property: WorkLane completion is at least ready+d and at least the
+// cumulative work.
+func TestWorkLaneProperties(t *testing.T) {
+	var l WorkLane
+	var work Duration
+	f := func(readyRaw uint16, dRaw uint8) bool {
+		ready := Time(readyRaw)
+		d := Duration(dRaw)
+		work += d
+		end := l.Complete(ready, d)
+		return end >= ready+Time(d) && end >= Time(work)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkLaneOrderInsensitive: the final completion bound is the same
+// regardless of the order tasks are presented, for tasks ready at 0.
+func TestWorkLaneOrderInsensitive(t *testing.T) {
+	run := func(order []Duration) Time {
+		var l WorkLane
+		var max Time
+		for _, d := range order {
+			if e := l.Complete(0, d); e > max {
+				max = e
+			}
+		}
+		return max
+	}
+	a := run([]Duration{1, 2, 3, 4, 5})
+	b := run([]Duration{5, 4, 3, 2, 1})
+	if a != b {
+		t.Fatalf("order-dependent totals: %d vs %d", a, b)
+	}
+	if a != 15 {
+		t.Fatalf("total %d, want 15", a)
+	}
+}
