@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race smoke bench
+
+# check is the PR gate: vet, build, full tests, the race detector over the
+# RMA engine, and a short E13 smoke bench proving batching still pays.
+check: vet build test race smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+smoke:
+	$(GO) test -run TestE13Smoke -count=1 ./internal/bench/
+
+bench:
+	$(GO) run ./cmd/rmabench

@@ -16,9 +16,8 @@ import (
 	"fmt"
 	"log"
 
-	"mpi3rma/internal/core"
-	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
 )
 
 func main() {
@@ -27,18 +26,17 @@ func main() {
 	defer world.Close()
 
 	err := world.Run(func(p *runtime.Proc) {
-		rma := core.Attach(p, core.Options{})
-		comm := p.Comm()
+		s := rma.Open(p)
 
 		if p.Rank() == 0 {
 			// Expose one byte per rank. Nothing collective happens here.
-			tm, region := rma.ExposeNew(ranks)
+			tm, region := s.Expose(ranks)
 			enc := tm.Encode()
 			for r := 1; r < ranks; r++ {
 				p.Send(r, 0, enc)
 			}
 			// Wait until every rank's operations are complete everywhere.
-			if err := rma.CompleteCollective(comm); err != nil {
+			if err := s.CompleteCollective(); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("rank 0 memory after puts: %v\n", p.Mem().Snapshot(region.Offset, ranks))
@@ -47,7 +45,7 @@ func main() {
 
 		// Receive the descriptor rank 0 shipped us.
 		enc, _ := p.Recv(0, 0)
-		tm, err := core.DecodeTargetMem(enc)
+		tm, err := rma.DecodeTargetMem(enc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,17 +53,15 @@ func main() {
 		// One blocking put: origin buffer, one byte, into our slot.
 		src := p.Alloc(1)
 		p.WriteLocal(src, 0, []byte{byte(p.Rank())})
-		if _, err := rma.Put(src, 1, datatype.Byte,
-			tm, p.Rank(), 1, datatype.Byte,
-			0, comm, core.AttrBlocking); err != nil {
+		if _, err := s.Put(src, 1, rma.Byte, tm, p.Rank(), rma.WithBlocking()); err != nil {
 			log.Fatal(err)
 		}
 
-		// RMA_complete(comm, 0): all our puts are now applied at rank 0.
-		if err := rma.Complete(comm, 0); err != nil {
+		// RMA_complete toward rank 0: all our puts are now applied there.
+		if err := s.Complete(tm.Owner); err != nil {
 			log.Fatal(err)
 		}
-		if err := rma.CompleteCollective(comm); err != nil {
+		if err := s.CompleteCollective(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("rank %d: put done at virtual time %v\n", p.Rank(), p.Now())

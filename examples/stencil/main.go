@@ -5,10 +5,11 @@
 // The global domain of N float64 cells is block-distributed over the
 // ranks. Each rank exposes its block plus two ghost cells as a target_mem
 // object. Every iteration, each rank *pushes* its boundary cells into its
-// neighbours' ghost slots with nonblocking puts carrying float64
-// datatypes, issues one RMA_complete toward each neighbour, barriers, and
-// relaxes its interior. After the configured number of sweeps, rank 0
-// gathers the residual.
+// neighbours' ghost slots with nonblocking notified puts carrying float64
+// datatypes, issues one RMA_complete toward each neighbour (answered from
+// the delivery counters the notifications maintain — no probe traffic),
+// barriers, and relaxes its interior. After the configured number of
+// sweeps, rank 0 gathers the residual.
 //
 // The put-based halo exchange needs no receive calls and no window epochs
 // on the target side — the asynchronous advantage the paper opens with.
@@ -24,9 +25,8 @@ import (
 	"log"
 	"math"
 
-	"mpi3rma/internal/core"
-	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
 )
 
 const (
@@ -48,30 +48,16 @@ func main() {
 	defer world.Close()
 
 	err := world.Run(func(p *runtime.Proc) {
-		rma := core.Attach(p, core.Options{})
+		s := rma.Open(p)
 		comm := p.Comm()
 		me := p.Rank()
 
-		// Expose the block (with ghosts) and exchange descriptors with an
-		// allgather built from point-to-point sends: the strawman has no
-		// collective window creation, so the application does it.
-		tm, region := rma.ExposeNew(total * 8)
-		descs := comm.Gather(0, tm.Encode())
-		var flat []byte
-		if me == 0 {
-			for _, d := range descs {
-				flat = append(flat, d...)
-			}
-		}
-		flat = comm.Bcast(0, flat)
-		per := len(flat) / ranks
-		tms := make([]core.TargetMem, ranks)
-		for r := range tms {
-			var err error
-			tms[r], err = core.DecodeTargetMem(flat[r*per : (r+1)*per])
-			if err != nil {
-				log.Fatal(err)
-			}
+		// Expose the block (with ghosts) and exchange descriptors: the
+		// strawman has no collective window creation, so the application
+		// (here via the ExposeCollective convenience) does it.
+		tms, region, err := s.ExposeCollective(total * 8)
+		if err != nil {
+			log.Fatal(err)
 		}
 
 		// Initial condition: a hot boundary at the global left edge.
@@ -93,13 +79,11 @@ func main() {
 
 		left, right := me-1, me+1
 		scratch := p.Alloc(8)
-		pushBoundary := func(cellIdx int, neighbor int, ghostIdx int) *core.Request {
+		pushBoundary := func(cellIdx int, neighbor int, ghostIdx int) *rma.Request {
 			var b [8]byte
 			binary.LittleEndian.PutUint64(b[:], math.Float64bits(get(cellIdx)))
 			p.WriteLocal(scratch, 0, b[:])
-			req, err := rma.Put(scratch, 1, datatype.Float64,
-				tms[neighbor], ghostIdx*8, 1, datatype.Float64,
-				neighbor, comm, core.AttrNone)
+			req, err := s.PutNotify(scratch, 1, rma.Float64, tms[neighbor], ghostIdx*8)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -109,23 +93,23 @@ func main() {
 		old := make([]float64, total)
 		for sweep := 0; sweep < sweeps; sweep++ {
 			// Push boundary cells into the neighbours' ghost slots.
-			var reqs []*core.Request
+			var reqs []*rma.Request
 			if left >= 0 {
 				reqs = append(reqs, pushBoundary(first, left, ghostR))
 			}
 			if right < ranks {
 				reqs = append(reqs, pushBoundary(perRank, right, ghostL))
 			}
-			core.WaitAll(reqs...)
+			rma.WaitAll(reqs...)
 			// Remote completion of the pushes, then a barrier so every
 			// ghost everywhere is fresh before anyone relaxes.
 			if left >= 0 {
-				if err := rma.Complete(comm, left); err != nil {
+				if err := s.Complete(left); err != nil {
 					log.Fatal(err)
 				}
 			}
 			if right < ranks {
-				if err := rma.Complete(comm, right); err != nil {
+				if err := s.Complete(right); err != nil {
 					log.Fatal(err)
 				}
 			}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	gort "runtime"
+	"sync"
 	"time"
 
 	"mpi3rma/internal/core"
@@ -75,6 +76,18 @@ type PutsCompleteConfig struct {
 	// the library: deferred atomic operations apply at the next multiple
 	// of this virtual interval (required for MechProgress cells, E8).
 	TargetPolls time.Duration
+	// NonBlocking issues the puts without AttrBlocking (E13): completion
+	// is established only by the final Complete.
+	NonBlocking bool
+	// NotifyPuts adds AttrNotify to every put (E13): each application is
+	// reported on the delivery counter, feeding Complete's fast path.
+	NotifyPuts bool
+	// BatchOps enables origin-side operation batching of that many ops
+	// per aggregate (E13); 0 leaves batching off.
+	BatchOps int
+	// ProbeCompletion forces Complete's probe round-trip even when
+	// delivery counters could answer locally (E13 A/B).
+	ProbeCompletion bool
 	// WorldConfig hooks further runtime configuration (nil = none).
 	WorldConfig func(*runtime.Config)
 }
@@ -95,6 +108,12 @@ type PutsCompleteOutcome struct {
 	TargetFences int64
 	// HeldOps counts ordered operations buffered out-of-order.
 	HeldOps int64
+	// LogicalOps counts operations carried by the wire messages (> Msgs
+	// when aggregation is on).
+	LogicalOps int64
+	// Batches, Notifies and FastPaths describe the batching/notified-
+	// completion machinery, summed over the origins.
+	Batches, Notifies, FastPaths int64
 	// Verified is false if the final target memory did not contain bytes
 	// from one of the origins (every put targets the same region, so the
 	// last writer wins — any origin's fill value is legal).
@@ -129,12 +148,24 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	w := runtime.NewWorld(wcfg)
 	defer w.Close()
 
-	attrs := cfg.Attrs | core.AttrBlocking
+	attrs := cfg.Attrs
+	if !cfg.NonBlocking {
+		attrs |= core.AttrBlocking
+	}
+	if cfg.NotifyPuts {
+		attrs |= core.AttrNotify
+	}
 	var meas measure
+	var outMu sync.Mutex
 	out := PutsCompleteOutcome{Verified: true}
 
 	err := w.Run(func(p *runtime.Proc) {
-		e := core.Attach(p, core.Options{Atomicity: cfg.Mech, ProgressQuantum: cfg.TargetPolls})
+		e := core.Attach(p, core.Options{
+			Atomicity:       cfg.Mech,
+			ProgressQuantum: cfg.TargetPolls,
+			BatchOps:        cfg.BatchOps,
+			ProbeCompletion: cfg.ProbeCompletion,
+		})
 		comm := p.Comm()
 		if p.Rank() == 0 {
 			tm, region := e.ExposeNew(cfg.Size)
@@ -197,6 +228,11 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 			panic(err)
 		}
 		meas.record(time.Since(startWall), p.Now()-startVT)
+		outMu.Lock()
+		out.Batches += e.Batches.Value()
+		out.Notifies += e.Notifies.Value()
+		out.FastPaths += e.FastPaths.Value()
+		outMu.Unlock()
 		p.Barrier()
 	})
 	if err != nil {
@@ -205,6 +241,7 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	out.Row = meas.row("", cfg.Size)
 	out.Msgs = w.Net().Msgs.Value()
 	out.Bytes = w.Net().Bytes.Value()
+	out.LogicalOps = w.Net().LogicalOps.Value()
 	out.SoftAcks = softAckTotal(w)
 	return out
 }

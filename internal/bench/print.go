@@ -148,6 +148,7 @@ func All() []Result {
 		RunE10(),
 		RunE11(),
 		RunE12(),
+		RunE13(),
 	}
 }
 
@@ -176,6 +177,8 @@ func ByName(name string) (Result, bool) {
 		return RunE11(), true
 	case "e12":
 		return RunE12(), true
+	case "e13":
+		return RunE13(), true
 	default:
 		return Result{}, false
 	}
@@ -183,5 +186,5 @@ func ByName(name string) (Result, bool) {
 
 // Names lists the experiment ids ByName accepts.
 func Names() []string {
-	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12"}
+	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 }

@@ -43,12 +43,18 @@ func (e *Engine) InvokeAM(id uint64, payload []byte, trank int, comm *runtime.Co
 	attrs = e.effectiveAttrs(comm, attrs)
 	target := comm.WorldRank(trank)
 	e.Progress()
-	e.maybeFence(comm, target)
+	e.flushTarget(target) // a handler must see ring-held deposits applied in order
+	if err := e.maybeFence(comm, target); err != nil {
+		return nil, err
+	}
 
 	var seq uint64
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	if attrs&(AttrRemoteComplete|AttrNotify) != 0 {
+		ts.willConfirm++
+	}
 	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
 		ts.orderSeq++
 		seq = ts.orderSeq

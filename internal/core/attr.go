@@ -63,6 +63,16 @@ const (
 	// AttrBlocking performs the operation in a single call: the call
 	// returns only when the request would have completed.
 	AttrBlocking
+	// AttrNotify requests a delivery-counter notification: when the
+	// operation has been applied, the target ships its cumulative
+	// applied-operation counter back to the origin on the NIC-generated
+	// (hardware) path. The request still completes locally — the
+	// notification feeds the origin's per-target confirmation counter, so
+	// a later Complete that finds every issued operation already confirmed
+	// (or confirmable) skips the probe round-trip entirely. This is the
+	// UNR-style "notified" operation attribute; batched operations get it
+	// implicitly (one notification per aggregate message).
+	AttrNotify
 )
 
 // String renders the attribute set, e.g. "ordering|atomic".
@@ -83,7 +93,10 @@ func (a Attr) String() string {
 	if a&AttrBlocking != 0 {
 		parts = append(parts, "blocking")
 	}
-	if rest := a &^ (AttrOrdering | AttrRemoteComplete | AttrAtomic | AttrBlocking); rest != 0 {
+	if a&AttrNotify != 0 {
+		parts = append(parts, "notify")
+	}
+	if rest := a &^ (AttrOrdering | AttrRemoteComplete | AttrAtomic | AttrBlocking | AttrNotify); rest != 0 {
 		parts = append(parts, fmt.Sprintf("Attr(%#x)", uint32(rest)))
 	}
 	return strings.Join(parts, "|")

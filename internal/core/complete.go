@@ -13,12 +13,21 @@ import (
 // synchronization operation: afterwards, remote completion of all covered
 // operations is guaranteed, whether or not they set AttrRemoteComplete.
 //
-// The implementation sends one completion probe per target carrying the
-// count of operations issued to it; the target replies once its applied
-// count reaches that threshold. On an ordered network the probe could ride
-// behind the stream for free, but the reply round trip is still what
-// detects *application* (not mere delivery), so a probe exchange is used
-// uniformly.
+// Pending issue rings are flushed first, then completion is established
+// per target, cheapest mechanism first:
+//
+//  1. Nothing outstanding (no operations issued, or the target's delivery
+//     counters already confirm everything) — return immediately, no
+//     traffic at all.
+//  2. Every outstanding operation reports a delivery counter (it was
+//     batched, notified, remote-complete, or reply-bearing) — wait locally
+//     for the counters to catch up; still no traffic.
+//  3. Otherwise fall back to the probe round-trip: one completion probe
+//     per target carrying the count of operations issued to it; the target
+//     replies once its applied count reaches that threshold.
+//
+// Options.ProbeCompletion forces path 3 for measurement. Cases 1 and 2 are
+// counted in FastPaths.
 func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 	e.Progress()
 	targets, err := e.resolveTargets(comm, trank)
@@ -27,13 +36,35 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 	}
 	reqs := make([]*Request, 0, len(targets))
 	for _, world := range targets {
+		e.flushTarget(world)
 		e.mu.Lock()
-		sent := e.targetLocked(world).sent
+		ts := e.targetLocked(world)
+		sent := ts.sent
+		will := ts.willConfirm
 		e.mu.Unlock()
 		if sent == 0 {
 			continue
 		}
-		reqs = append(reqs, e.sendProbe(world, sent))
+		if !e.opts.ProbeCompletion {
+			if at, ok := e.tryConfirmed(world, sent); ok {
+				e.FastPaths.Inc()
+				e.proc.NIC().CPU().AdvanceTo(at)
+				continue
+			}
+			if will >= sent {
+				// Every outstanding operation reports a delivery counter;
+				// ride the notifications instead of probing.
+				at := e.waitConfirmed(world, sent)
+				e.FastPaths.Inc()
+				e.proc.NIC().CPU().AdvanceTo(at)
+				continue
+			}
+		}
+		r, err := e.sendProbe(world, sent)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
 	}
 	WaitAll(reqs...)
 	return nil
@@ -52,6 +83,7 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 // barrier publishes global completion — O(n log n) messages total.
 func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 	e.Progress()
+	e.Flush()
 	n := comm.Size()
 	me := comm.Rank()
 	members := comm.Ranks()
@@ -75,7 +107,7 @@ func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 	}
 	flat = comm.Bcast(0, flat)
 	if len(flat) != 8*n*n {
-		return fmt.Errorf("core: collective completion exchanged %d bytes, want %d", len(flat), 8*n*n)
+		return fmt.Errorf("core: collective completion exchanged %d bytes, want %d: %w", len(flat), 8*n*n, ErrEpoch)
 	}
 
 	// Expected inbound at this rank = column `me` of the matrix.
@@ -95,18 +127,23 @@ func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 // Order guarantees that every operation issued to trank (or AllRanks)
 // before the call is applied before any operation issued after it — the
 // paper's MPI_RMA_order, the shmem_fence-style weak synchronization. On a
-// network that preserves ordering it costs nothing (Figure 2's overlapping
-// lines); otherwise the next operation to each covered target first stalls
-// until the target confirms the earlier operations, the "slight penalty"
-// of Section III-B.
+// network that preserves ordering it costs nothing beyond flushing pending
+// issue rings (Figure 2's overlapping lines); otherwise the next operation
+// to each covered target first stalls until the target confirms the
+// earlier operations, the "slight penalty" of Section III-B.
 func (e *Engine) Order(comm *runtime.Comm, trank int) error {
 	e.Progress()
-	if e.proc.NIC().Endpoint().Ordered() {
-		return nil // the network orders per-pair traffic already
-	}
 	targets, err := e.resolveTargets(comm, trank)
 	if err != nil {
 		return err
+	}
+	// An aggregate keeps its members' issue order at the target, but ops
+	// issued after the Order must not join a pre-Order aggregate.
+	for _, world := range targets {
+		e.flushTarget(world)
+	}
+	if e.proc.NIC().Endpoint().Ordered() {
+		return nil // the network orders per-pair traffic already
 	}
 	e.mu.Lock()
 	for _, world := range targets {
@@ -134,40 +171,66 @@ func (e *Engine) resolveTargets(comm *runtime.Comm, trank int) ([]int, error) {
 		return comm.Ranks(), nil
 	}
 	if trank < 0 || trank >= comm.Size() {
-		return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d", trank, comm.Size())
+		return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d: %w", trank, comm.Size(), ErrBadHandle)
 	}
 	return []int{comm.WorldRank(trank)}, nil
 }
 
 // sendProbe issues a completion probe to a world rank and returns the
-// request its reply completes.
-func (e *Engine) sendProbe(world int, threshold int64) *Request {
+// request its reply completes. A failed send means the world is shutting
+// down; the error is reported rather than crashing the caller.
+func (e *Engine) sendProbe(world int, threshold int64) (*Request, error) {
 	req := e.newRequest()
 	m := newMsg(world, kProbe)
 	m.Hdr[hHandle] = uint64(threshold)
 	m.Hdr[hReq] = req.id
 	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
-		panic(err)
+		req.complete(e.proc.Now(), nil)
+		return nil, fmt.Errorf("core: completion probe to rank %d: %w", world, err)
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
-	return req
+	return req, nil
 }
 
 // maybeFence enforces a pending Order() before the next operation to
 // world: the issue stalls until the target confirms application of all
-// earlier operations. Called from the issue path with no locks held.
-func (e *Engine) maybeFence(comm *runtime.Comm, world int) {
+// earlier operations, using the same counter fast paths as Complete.
+// Called from the issue path with no locks held.
+func (e *Engine) maybeFence(comm *runtime.Comm, world int) error {
 	e.mu.Lock()
 	ts := e.targetLocked(world)
 	pending := ts.fencePending
-	sent := ts.sent
 	if pending {
 		ts.fencePending = false
 	}
 	e.mu.Unlock()
-	if !pending || sent == 0 {
-		return
+	if !pending {
+		return nil
+	}
+	e.flushTarget(world)
+	e.mu.Lock()
+	ts = e.targetLocked(world)
+	sent := ts.sent
+	will := ts.willConfirm
+	e.mu.Unlock()
+	if sent == 0 {
+		return nil
 	}
 	e.FenceStalls.Inc()
-	e.sendProbe(world, sent).Wait()
+	if !e.opts.ProbeCompletion {
+		if at, ok := e.tryConfirmed(world, sent); ok {
+			e.proc.NIC().CPU().AdvanceTo(at)
+			return nil
+		}
+		if will >= sent {
+			e.proc.NIC().CPU().AdvanceTo(e.waitConfirmed(world, sent))
+			return nil
+		}
+	}
+	r, err := e.sendProbe(world, sent)
+	if err != nil {
+		return err
+	}
+	r.Wait()
+	return nil
 }

@@ -28,6 +28,8 @@ const (
 	kRMW       = portals.KindCoreBase + 9  // fetch-and-add / compare-and-swap
 	kRMWReply  = portals.KindCoreBase + 10 // RMW old value
 	kAM        = portals.KindCoreBase + 11 // active-message extension
+	kBatch     = portals.KindCoreBase + 12 // aggregated put/accumulate batch
+	kNotify    = portals.KindCoreBase + 13 // delivery-counter notification
 )
 
 // Header word indices shared by the protocol messages.
@@ -72,7 +74,28 @@ type Options struct {
 	DefaultAttrs Attr
 	// AddrBits is this rank's address-space width, 32 or 64 (0 = 64).
 	AddrBits uint8
+	// BatchOps enables origin-side operation batching: up to BatchOps
+	// small puts/accumulates per (origin, target) pair are coalesced into
+	// one aggregated wire message, unpacked and applied individually at
+	// the target. 0 disables batching. A pending batch is flushed when it
+	// reaches BatchOps operations or BatchBytes payload bytes, when a
+	// non-batchable operation (get, RMW, active message, blocking or
+	// coarse-locked atomic op) is issued to the same target, and by
+	// Flush/Order/Complete.
+	BatchOps int
+	// BatchBytes bounds the accumulated payload of one batch (0 =
+	// DefaultBatchBytes). Operations larger than BatchBytes bypass the
+	// batch entirely — aggregation only pays off for small operations.
+	BatchBytes int
+	// ProbeCompletion forces Complete to use the probe round-trip even
+	// when delivery-counter notifications could answer locally. For A/B
+	// measurement (experiment E13); leave false.
+	ProbeCompletion bool
 }
+
+// DefaultBatchBytes is the per-batch payload bound when Options.BatchOps
+// is set but BatchBytes is 0.
+const DefaultBatchBytes = 8192
 
 func (o Options) withDefaults() Options {
 	if o.ApplyOverhead == 0 {
@@ -84,12 +107,16 @@ func (o Options) withDefaults() Options {
 	if o.AddrBits == 0 {
 		o.AddrBits = 64
 	}
+	if o.BatchOps > 0 && o.BatchBytes == 0 {
+		o.BatchBytes = DefaultBatchBytes
+	}
 	return o
 }
 
 // originTarget is origin-side per-target bookkeeping.
 type originTarget struct {
 	sent         int64  // ops issued to this target (puts, accumulates, gets, RMWs, AMs)
+	willConfirm  int64  // ops whose application will report a delivery counter (notify, remote-complete, batch, reply-carrying ops)
 	orderSeq     uint64 // ordered-stream sequence for AttrOrdering on unordered networks
 	fencePending bool   // an Order() is pending; next op must stall for drain
 }
@@ -121,6 +148,21 @@ type Engine struct {
 	reqSeq  uint64
 	targets map[int]*originTarget
 	comms   map[uint64]Attr // per-communicator default attributes
+	rings   map[int]*issueRing
+	batchID uint64
+
+	// Origin-side confirmation counters, guarded by cmplMu: confirmed[t]
+	// is the highest cumulative applied-operation count target t has
+	// reported back (via notifications, acks, replies, or probe answers);
+	// confirmedAt is the virtual arrival time of the latest report.
+	// cmplCond wakes Complete calls waiting for counters instead of
+	// probing. pendingBatches routes batch notifications to the
+	// remote-completion requests of the batch's member operations.
+	cmplMu         sync.Mutex
+	cmplCond       *sync.Cond
+	confirmed      map[int]int64
+	confirmedAt    map[int]vtime.Time
+	pendingBatches map[uint64]*pendingBatch
 
 	// Target-side state, guarded by tgtMu because applies may run on the
 	// NIC agent, the thread serializer, or a Progress call. tgtCond wakes
@@ -159,6 +201,10 @@ type Engine struct {
 	Probes      stats.Counter
 	HeldOps     stats.Counter // ordered ops buffered due to out-of-order arrival
 	FenceStalls stats.Counter // Order()-induced stalls before an op issue
+	Batches     stats.Counter // aggregated messages sent
+	BatchedOps  stats.Counter // operations that rode an aggregated message
+	Notifies    stats.Counter // delivery-counter notifications received
+	FastPaths   stats.Counter // Complete calls answered from counters, no probe
 }
 
 // gosched yields to let agent and serializer goroutines run between
@@ -174,19 +220,24 @@ const extKey = "core.rma"
 func Attach(p *runtime.Proc, opts Options) *Engine {
 	return p.Ext(extKey, func() any {
 		e := &Engine{
-			proc:    p,
-			opts:    opts.withDefaults(),
-			tmems:   make(map[uint64]*exposure),
-			reqs:    make(map[uint64]*Request),
-			targets: make(map[int]*originTarget),
-			comms:   make(map[uint64]Attr),
-			applied: make(map[int]int64),
-			reorder: make(map[int]*reorderBuf),
-			lanes:   make(map[int]*vtime.Clock),
-			lock:    serializer.NewLockState(),
-			am:      make(map[uint64]AMHandler),
+			proc:           p,
+			opts:           opts.withDefaults(),
+			tmems:          make(map[uint64]*exposure),
+			reqs:           make(map[uint64]*Request),
+			targets:        make(map[int]*originTarget),
+			comms:          make(map[uint64]Attr),
+			rings:          make(map[int]*issueRing),
+			confirmed:      make(map[int]int64),
+			confirmedAt:    make(map[int]vtime.Time),
+			pendingBatches: make(map[uint64]*pendingBatch),
+			applied:        make(map[int]int64),
+			reorder:        make(map[int]*reorderBuf),
+			lanes:          make(map[int]*vtime.Clock),
+			lock:           serializer.NewLockState(),
+			am:             make(map[uint64]AMHandler),
 		}
 		e.tgtCond = sync.NewCond(&e.tgtMu)
+		e.cmplCond = sync.NewCond(&e.cmplMu)
 		switch e.opts.Atomicity {
 		case serializer.MechThread:
 			e.applyQ = serializer.NewApplyQueue()
@@ -206,6 +257,8 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 		nic.RegisterHandler(kRMW, e.handleRMW)
 		nic.RegisterHandler(kRMWReply, e.handleRMWReply)
 		nic.RegisterHandler(kAM, e.handleAM)
+		nic.RegisterHandler(kBatch, e.handleBatch)
+		nic.RegisterHandler(kNotify, e.handleNotify)
 		return e
 	}).(*Engine)
 }
@@ -282,9 +335,11 @@ func (e *Engine) Progress() int {
 	return e.progQ.Progress(e.proc.Now())
 }
 
-// opDone is shared post-apply bookkeeping: count the op, wake satisfied
-// completion probes. It runs with tgtMu held via noteApplied.
-func (e *Engine) noteApplied(src int, at vtime.Time) {
+// noteApplied is shared post-apply bookkeeping: count the op, wake
+// satisfied completion probes, and return the new cumulative applied count
+// for src — the value every target→origin report carries back as the
+// delivery counter of the notified-completion protocol.
+func (e *Engine) noteApplied(src int, at vtime.Time) int64 {
 	e.OpsApplied.Inc()
 	e.tgtMu.Lock()
 	e.applied[src]++
@@ -305,8 +360,9 @@ func (e *Engine) noteApplied(src int, at vtime.Time) {
 	e.tgtCond.Broadcast()
 	e.tgtMu.Unlock()
 	for _, w := range ready {
-		e.sendProbeAck(w, at)
+		e.sendProbeAck(w, count, at)
 	}
+	return count
 }
 
 // waitAppliedFrom blocks until the total applied count from the given
@@ -387,9 +443,12 @@ func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
 	}
 }
 
-// sendProbeAck answers a completion probe at virtual time at.
-func (e *Engine) sendProbeAck(w probeWaiter, at vtime.Time) {
+// sendProbeAck answers a completion probe at virtual time at. The answer
+// carries the cumulative applied count, so a probe also feeds the origin's
+// confirmation counters.
+func (e *Engine) sendProbeAck(w probeWaiter, count int64, at vtime.Time) {
 	m := newMsg(w.origin, kProbeAck)
 	m.Hdr[hReq] = w.reqID
+	m.Hdr[hCount] = uint64(count)
 	e.sendReply(at, m)
 }

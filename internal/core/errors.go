@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the RMA engine. Every error returned by the engine
+// (and by the MPI-2 layer in internal/mpi2rma, which shares this
+// vocabulary) wraps exactly one of these, so callers can classify
+// failures with errors.Is without parsing message strings:
+//
+//   - ErrBadHandle — the operation addressed memory that is not (or is no
+//     longer) exposed: an invalid or retracted target_mem descriptor, a
+//     descriptor owned by a different rank than the named target, a freed
+//     MPI-2 window, or a target rank outside the communicator.
+//   - ErrBounds — the operation itself is malformed: negative counts or
+//     displacements, an access extending past the exposed region, or an
+//     origin buffer too small for the declared datatype layout.
+//   - ErrType — the transfer's type signatures are incompatible, or the
+//     accumulate operation is not defined for the element kind.
+//   - ErrEpoch — a synchronization-protocol violation: MPI-2 access or
+//     exposure epochs opened/closed out of order, RMA calls outside any
+//     epoch, or a completion exchange that returned inconsistent state.
+//
+// The error message still carries the operation-specific detail; the
+// sentinel only fixes the class.
+var (
+	ErrBadHandle = errors.New("bad target_mem handle")
+	ErrBounds    = errors.New("access out of bounds")
+	ErrType      = errors.New("incompatible type signature")
+	ErrEpoch     = errors.New("synchronization epoch violation")
+)

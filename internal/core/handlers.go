@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"mpi3rma/internal/datatype"
@@ -99,11 +100,15 @@ func (e *Engine) scheduleApply(src int, at vtime.Time, nbytes int, atomic bool, 
 }
 
 // finishApply performs the bookkeeping shared by every applied operation:
-// acknowledgement, coarse-lock release, probe accounting.
-func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vtime.Time) {
+// probe accounting, acknowledgement or notification, coarse-lock release.
+// It returns the cumulative applied count so reply-bearing handlers (get,
+// RMW) can piggyback the delivery counter on their replies.
+func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vtime.Time) int64 {
+	count := e.noteApplied(m.Src, end)
 	if attrs&AttrRemoteComplete != 0 {
 		ack := newMsg(m.Src, kAck)
 		ack.Hdr[hReq] = m.Hdr[hReq]
+		ack.Hdr[hCount] = uint64(count)
 		if !atomic && e.proc.NIC().HardwareAcks() {
 			// The NIC observed the deposit and acknowledges in hardware.
 			e.sendReplyNIC(end, ack)
@@ -114,12 +119,16 @@ func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vti
 			e.sendReply(end, ack)
 		}
 		e.AcksSent.Inc()
+	} else if attrs&AttrNotify != 0 {
+		// A notified operation without remote completion still reports its
+		// delivery counter (the ack above already carries it).
+		e.sendNotify(m.Src, 0, count, end, atomic)
 	}
 	if m.Flags&flagUnlockAfter != 0 {
 		e.releaseLockLocal(m.Src, end)
 	}
 	e.tr().Recordf(end, "apply", m.Src, "kind=%d bytes=%d", m.Kind, len(m.Payload))
-	e.noteApplied(m.Src, end)
+	return count
 }
 
 // handlePut processes an incoming put or accumulate.
@@ -195,29 +204,42 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 				e.proc.NIC().BadReq.Inc()
 				wire = nil
 			}
+			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), atomic, end)
 			reply := newMsg(m.Src, kGetReply)
 			reply.Hdr[hReq] = m.Hdr[hReq]
+			reply.Hdr[hCount] = uint64(count)
 			reply.Payload = wire
 			e.sendReply(end, reply)
-			e.finishApply(m, attrs&^AttrRemoteComplete, atomic, end)
 		})
 	})
 }
 
 // handleGetReply completes a pending get at the origin.
 func (e *Engine) handleGetReply(m *simnet.Message, at vtime.Time) {
+	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
 	req := e.lookupRequest(m.Hdr[hReq])
 	if req == nil {
 		return
 	}
-	if req.onData != nil && len(m.Payload) > 0 {
-		req.onData(m.Payload, at)
+	if req.onData != nil {
+		if len(m.Payload) == 0 {
+			// The target could not serve the get (unexposed or out-of-range
+			// memory); fail the request instead of leaving stale data.
+			req.completeErr(at, fmt.Errorf("core: get failed at the target: %w", ErrBadHandle))
+			return
+		}
+		if err := req.onData(m.Payload, at); err != nil {
+			e.proc.NIC().BadReq.Inc()
+			req.completeErr(at, err)
+			return
+		}
 	}
 	req.complete(at, nil)
 }
 
 // handleAck completes a remote-completion request at the origin.
 func (e *Engine) handleAck(m *simnet.Message, at vtime.Time) {
+	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
 	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
 		req.complete(at, nil)
 	}
@@ -231,18 +253,20 @@ func (e *Engine) handleProbe(m *simnet.Message, at vtime.Time) {
 	threshold := int64(m.Hdr[hHandle])
 	w := probeWaiter{origin: m.Src, threshold: threshold, reqID: m.Hdr[hReq]}
 	e.tgtMu.Lock()
-	satisfied := e.applied[m.Src] >= threshold
+	count := e.applied[m.Src]
+	satisfied := count >= threshold
 	if !satisfied {
 		e.probeWaiters = append(e.probeWaiters, w)
 	}
 	e.tgtMu.Unlock()
 	if satisfied {
-		e.sendProbeAck(w, at)
+		e.sendProbeAck(w, count, at)
 	}
 }
 
 // handleProbeAck completes a Complete/Order stall at the origin.
 func (e *Engine) handleProbeAck(m *simnet.Message, at vtime.Time) {
+	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
 	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
 		req.complete(at, nil)
 	}

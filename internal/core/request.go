@@ -19,15 +19,17 @@ type Request struct {
 	done bool
 	at   vtime.Time
 	val  []byte
-	ch   chan struct{}
+	err  error
+	ch   chan struct{} // created lazily on the first Wait/Done
 
 	// onData, if set, consumes reply payload (get data) on the delivery
-	// goroutine before the request is completed.
-	onData func(wire []byte, at vtime.Time)
+	// goroutine before the request is completed; an error fails the
+	// request instead of completing it.
+	onData func(wire []byte, at vtime.Time) error
 }
 
 func (e *Engine) newRequest() *Request {
-	r := &Request{e: e, ch: make(chan struct{})}
+	r := &Request{e: e}
 	e.mu.Lock()
 	e.reqSeq++
 	r.id = e.reqSeq
@@ -36,10 +38,36 @@ func (e *Engine) newRequest() *Request {
 	return r
 }
 
+// waitCh returns the completion channel, creating it on first use. Most
+// requests — batched operations completing at issue, blocking calls that
+// never escape — are completed before anyone waits, so the channel (one
+// allocation per operation otherwise) is made only on demand.
+func (r *Request) waitCh() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ch == nil {
+		r.ch = make(chan struct{})
+		if r.done {
+			close(r.ch)
+		}
+	}
+	return r.ch
+}
+
 // complete marks the request done at virtual time at with optional result
 // value, and removes it from the engine table. Idempotence guards against
 // protocol duplicates.
 func (r *Request) complete(at vtime.Time, val []byte) {
+	r.finish(at, val, nil)
+}
+
+// completeErr marks the request done with a failure the origin only
+// learned of asynchronously (e.g. a get the target could not serve).
+func (r *Request) completeErr(at vtime.Time, err error) {
+	r.finish(at, nil, err)
+}
+
+func (r *Request) finish(at vtime.Time, val []byte, err error) {
 	r.mu.Lock()
 	if r.done {
 		r.mu.Unlock()
@@ -48,7 +76,10 @@ func (r *Request) complete(at vtime.Time, val []byte) {
 	r.done = true
 	r.at = at
 	r.val = val
-	close(r.ch)
+	r.err = err
+	if r.ch != nil {
+		close(r.ch)
+	}
 	r.mu.Unlock()
 	r.e.mu.Lock()
 	delete(r.e.reqs, r.id)
@@ -58,10 +89,15 @@ func (r *Request) complete(at vtime.Time, val []byte) {
 // Wait blocks until the operation completes, advancing the rank's virtual
 // clock to the completion time.
 func (r *Request) Wait() {
-	<-r.ch
 	r.mu.Lock()
-	at := r.at
+	done, at := r.done, r.at
 	r.mu.Unlock()
+	if !done {
+		<-r.waitCh()
+		r.mu.Lock()
+		at = r.at
+		r.mu.Unlock()
+	}
 	r.e.proc.NIC().CPU().AdvanceTo(at)
 }
 
@@ -79,7 +115,7 @@ func (r *Request) Test() bool {
 }
 
 // Done exposes the completion channel for select-based waiting.
-func (r *Request) Done() <-chan struct{} { return r.ch }
+func (r *Request) Done() <-chan struct{} { return r.waitCh() }
 
 // CompletedAt returns the virtual completion time (valid once done).
 func (r *Request) CompletedAt() vtime.Time {
@@ -94,6 +130,16 @@ func (r *Request) Value() []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.val
+}
+
+// Err returns the asynchronous failure of the operation, if any (valid
+// once done). Errors detectable at issue time are returned by the issuing
+// call instead; Err reports failures the target discovered, such as a get
+// from unexposed memory.
+func (r *Request) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // WaitAll waits for every request in reqs (nil entries are permitted and

@@ -24,11 +24,8 @@ func WaitAny(reqs ...*Request) int {
 		if r == nil {
 			return i
 		}
-		select {
-		case <-r.ch:
-			r.Wait()
+		if r.Test() {
 			return i
-		default:
 		}
 	}
 	// Slow path: wait on all channels; the simulator's request count per
@@ -36,7 +33,7 @@ func WaitAny(reqs ...*Request) int {
 	done := make(chan int, len(reqs))
 	for i, r := range reqs {
 		go func(i int, r *Request) {
-			<-r.ch
+			<-r.waitCh()
 			done <- i
 		}(i, r)
 	}
@@ -98,7 +95,7 @@ func (e *Engine) ExposeCollective(comm *runtime.Comm, size int) ([]TargetMem, me
 	n := comm.Size()
 	per := encodedTargetMemLen
 	if len(flat) != n*per {
-		return nil, memsim.Region{}, fmt.Errorf("core: collective expose exchanged %d bytes for %d ranks", len(flat), n)
+		return nil, memsim.Region{}, fmt.Errorf("core: collective expose exchanged %d bytes for %d ranks: %w", len(flat), n, ErrEpoch)
 	}
 	tms := make([]TargetMem, n)
 	for i := 0; i < n; i++ {

@@ -37,23 +37,27 @@ func (e *Engine) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, trank
 
 func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
 	if !tm.Valid() {
-		return 0, fmt.Errorf("core: invalid target_mem descriptor")
+		return 0, fmt.Errorf("core: invalid target_mem descriptor: %w", ErrBadHandle)
 	}
 	if w := comm.WorldRank(trank); w != tm.Owner {
-		return 0, fmt.Errorf("core: target rank %d resolves to world rank %d, but target_mem is owned by rank %d", trank, w, tm.Owner)
+		return 0, fmt.Errorf("core: target rank %d resolves to world rank %d, but target_mem is owned by rank %d: %w", trank, w, tm.Owner, ErrBadHandle)
 	}
 	if tdisp < 0 || tdisp+8 > tm.Size {
-		return 0, fmt.Errorf("core: RMW at [%d,%d) exceeds target_mem of %d bytes", tdisp, tdisp+8, tm.Size)
+		return 0, fmt.Errorf("core: RMW at [%d,%d) exceeds target_mem of %d bytes: %w", tdisp, tdisp+8, tm.Size, ErrBounds)
 	}
 	attrs = e.effectiveAttrs(comm, attrs) | AttrAtomic
 	target := tm.Owner
 	e.Progress()
-	e.maybeFence(comm, target)
+	e.flushTarget(target) // an RMW must not overtake ring-held operations
+	if err := e.maybeFence(comm, target); err != nil {
+		return 0, err
+	}
 
 	var seq uint64
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	ts.willConfirm++ // the old-value reply carries the delivery counter
 	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
 		ts.orderSeq++
 		seq = ts.orderSeq
@@ -83,7 +87,7 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	req.Wait()
 	val := req.Value()
 	if len(val) != 8 {
-		return 0, fmt.Errorf("core: RMW failed at the target (unexposed or out-of-range memory)")
+		return 0, fmt.Errorf("core: RMW failed at the target (unexposed or out-of-range memory): %w", ErrBadHandle)
 	}
 	return int64(binary.LittleEndian.Uint64(val)), nil
 }
@@ -125,21 +129,23 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 					ok = false
 				}
 			}
+			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end)
 			reply := newMsg(m.Src, kRMWReply)
 			reply.Hdr[hReq] = m.Hdr[hReq]
+			reply.Hdr[hCount] = uint64(count)
 			if ok {
 				reply.Payload = append([]byte(nil), old[:]...)
 			} else {
 				e.proc.NIC().BadReq.Inc()
 			}
 			e.sendReply(end, reply)
-			e.finishApply(m, attrs&^AttrRemoteComplete, true, end)
 		})
 	})
 }
 
 // handleRMWReply completes a pending RMW at the origin with the old value.
 func (e *Engine) handleRMWReply(m *simnet.Message, at vtime.Time) {
+	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
 	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
 		req.complete(at, m.Payload)
 	}

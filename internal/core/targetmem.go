@@ -56,7 +56,7 @@ func (tm TargetMem) Encode() []byte {
 // DecodeTargetMem reverses Encode.
 func DecodeTargetMem(buf []byte) (TargetMem, error) {
 	if len(buf) != encodedTargetMemLen {
-		return TargetMem{}, fmt.Errorf("core: target_mem descriptor is %d bytes, want %d", len(buf), encodedTargetMemLen)
+		return TargetMem{}, fmt.Errorf("core: target_mem descriptor is %d bytes, want %d: %w", len(buf), encodedTargetMemLen, ErrBadHandle)
 	}
 	tm := TargetMem{
 		Owner:    int(int64(binary.LittleEndian.Uint64(buf[0:]))),
@@ -66,7 +66,7 @@ func DecodeTargetMem(buf []byte) (TargetMem, error) {
 		Order:    datatype.ByteOrder(buf[25]),
 	}
 	if !tm.Valid() {
-		return TargetMem{}, fmt.Errorf("core: decoded invalid target_mem descriptor %+v", tm)
+		return TargetMem{}, fmt.Errorf("core: decoded invalid target_mem descriptor %+v: %w", tm, ErrBadHandle)
 	}
 	return tm, nil
 }
@@ -109,12 +109,12 @@ func (e *Engine) ExposeNew(size int) (TargetMem, memsim.Region) {
 // open; Retract is the minimal owner-side revocation.
 func (e *Engine) Retract(tm TargetMem) error {
 	if tm.Owner != e.proc.Rank() {
-		return fmt.Errorf("core: rank %d cannot retract target_mem owned by rank %d", e.proc.Rank(), tm.Owner)
+		return fmt.Errorf("core: rank %d cannot retract target_mem owned by rank %d: %w", e.proc.Rank(), tm.Owner, ErrBadHandle)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tmems[tm.Handle]; !ok {
-		return fmt.Errorf("core: target_mem handle %d not exposed", tm.Handle)
+		return fmt.Errorf("core: target_mem handle %d not exposed: %w", tm.Handle, ErrBadHandle)
 	}
 	delete(e.tmems, tm.Handle)
 	return nil

@@ -75,10 +75,10 @@ func (e *Engine) Xfer(op OpType, accOp AccOp, origin memsim.Region, ocount int, 
 		// target-side arguments are unused.
 		ext := datatype.ExtentOf(ocount, odt)
 		if !origin.Contains(0, ext) {
-			return nil, fmt.Errorf("core: invoke payload of %d bytes exceeds origin region of %d", ext, origin.Size)
+			return nil, fmt.Errorf("core: invoke payload of %d bytes exceeds origin region of %d: %w", ext, origin.Size, ErrBounds)
 		}
 		if tdisp < 0 {
-			return nil, fmt.Errorf("core: invoke handler id must be non-negative")
+			return nil, fmt.Errorf("core: invoke handler id must be non-negative: %w", ErrBounds)
 		}
 		payload := e.proc.Mem().Snapshot(origin.Offset, ext)
 		return e.InvokeAM(uint64(tdisp), payload, trank, comm, attrs)
@@ -89,41 +89,42 @@ func (e *Engine) Xfer(op OpType, accOp AccOp, origin memsim.Region, ocount int, 
 }
 
 // validateXfer checks the transfer arguments shared by all operations.
+// Every failure wraps one of the sentinel errors of errors.go.
 func (e *Engine) validateXfer(op OpType, accOp AccOp, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm) error {
 	if !tm.Valid() {
-		return fmt.Errorf("core: invalid target_mem descriptor")
+		return fmt.Errorf("core: invalid target_mem descriptor: %w", ErrBadHandle)
 	}
 	if w := comm.WorldRank(trank); w != tm.Owner {
-		return fmt.Errorf("core: target rank %d of comm resolves to world rank %d, but target_mem is owned by rank %d", trank, w, tm.Owner)
+		return fmt.Errorf("core: target rank %d of comm resolves to world rank %d, but target_mem is owned by rank %d: %w", trank, w, tm.Owner, ErrBadHandle)
 	}
 	if ocount < 0 || tcount < 0 || tdisp < 0 {
-		return fmt.Errorf("core: negative count or displacement")
+		return fmt.Errorf("core: negative count or displacement: %w", ErrBounds)
 	}
 	if !datatype.Compatible(ocount, odt, tcount, tdt) {
-		return fmt.Errorf("core: type signature mismatch: %d x %s vs %d x %s", ocount, odt.Name(), tcount, tdt.Name())
+		return fmt.Errorf("core: type signature mismatch: %d x %s vs %d x %s: %w", ocount, odt.Name(), tcount, tdt.Name(), ErrType)
 	}
 	oExt := datatype.ExtentOf(ocount, odt)
 	if !origin.Contains(0, oExt) {
-		return fmt.Errorf("core: origin region of %d bytes cannot hold %d x %s (%d bytes)", origin.Size, ocount, odt.Name(), oExt)
+		return fmt.Errorf("core: origin region of %d bytes cannot hold %d x %s (%d bytes): %w", origin.Size, ocount, odt.Name(), oExt, ErrBounds)
 	}
 	tExt := datatype.ExtentOf(tcount, tdt)
 	if tdisp+tExt > tm.Size {
-		return fmt.Errorf("core: target access [%d,%d) exceeds target_mem of %d bytes", tdisp, tdisp+tExt, tm.Size)
+		return fmt.Errorf("core: target access [%d,%d) exceeds target_mem of %d bytes: %w", tdisp, tdisp+tExt, tm.Size, ErrBounds)
 	}
 	if tm.AddrBits == 32 && uint64(tdisp)+uint64(tExt) > 1<<32 {
-		return fmt.Errorf("core: access beyond the target's 32-bit address space")
+		return fmt.Errorf("core: access beyond the target's 32-bit address space: %w", ErrBounds)
 	}
 	if accOp == AccAxpy {
 		for _, run := range kindsOf(tcount, tdt) {
 			if run != datatype.KFloat64 && run != datatype.KFloat32 {
-				return fmt.Errorf("core: axpy accumulate requires floating-point elements, got %v", run)
+				return fmt.Errorf("core: axpy accumulate requires floating-point elements, got %v: %w", run, ErrType)
 			}
 		}
 	}
 	if op == OpAccumulate && accOp != AccReplace {
 		for _, k := range kindsOf(tcount, tdt) {
 			if k == datatype.KByte && (accOp == AccProd || accOp == AccAxpy) {
-				return fmt.Errorf("core: accumulate op %v not defined for byte elements", accOp)
+				return fmt.Errorf("core: accumulate op %v not defined for byte elements: %w", accOp, ErrType)
 			}
 		}
 	}
@@ -153,7 +154,17 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	attrs = e.effectiveAttrs(comm, attrs)
 	target := tm.Owner
 	e.Progress() // entering the library makes progress (MechProgress)
-	e.maybeFence(comm, target)
+	if e.batchable(op, attrs, datatype.PackedSize(ocount, odt)) {
+		if err := e.maybeFence(comm, target); err != nil {
+			return nil, err
+		}
+		return e.appendBatch(accOp, scale, origin, ocount, odt, tm, tdisp, tcount, tdt, attrs)
+	}
+	// A non-batchable operation must not overtake ring-held ones.
+	e.flushTarget(target)
+	if err := e.maybeFence(comm, target); err != nil {
+		return nil, err
+	}
 
 	// Ordered-stream sequence number, only needed when the network itself
 	// does not order messages (the Figure 2 "ordering is free" case).
@@ -161,6 +172,11 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	if op == OpGet || attrs&(AttrRemoteComplete|AttrNotify) != 0 {
+		// The operation's reply, ack, or notification reports a delivery
+		// counter; Complete may wait on counters instead of probing.
+		ts.willConfirm++
+	}
 	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
 		ts.orderSeq++
 		seq = ts.orderSeq
@@ -183,20 +199,23 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	case OpGet:
 		m = newMsg(target, kGet)
 		m.Payload = getPayload(tdt)
-		// Stash the unpack destination; the reply handler runs it.
+		// Stash the unpack destination; the reply handler runs it. A
+		// failure is reported through the request (Err), not a panic on
+		// the delivery goroutine.
 		oc, od := ocount, odt
 		reg := origin
-		req.onData = func(wire []byte, at vtime.Time) {
+		req.onData = func(wire []byte, at vtime.Time) error {
 			buf := make([]byte, datatype.ExtentOf(oc, od))
 			if err := e.proc.Mem().RemoteRead(reg.Offset, buf); err != nil {
-				panic(err)
+				return fmt.Errorf("core: get landing read: %w", err)
 			}
 			if err := datatype.Unpack(buf, wire, oc, od, e.proc.ByteOrder()); err != nil {
-				panic(err)
+				return fmt.Errorf("core: get unpack: %w", err)
 			}
 			if err := e.proc.Mem().RemoteWrite(reg.Offset, buf); err != nil {
-				panic(err)
+				return fmt.Errorf("core: get landing write: %w", err)
 			}
+			return nil
 		}
 	}
 	m.Hdr[hHandle] = tm.Handle

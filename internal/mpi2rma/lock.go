@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpi3rma/internal/core"
 	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/vtime"
 )
@@ -31,7 +32,7 @@ func (w *Win) Lock(typ LockType, trank int) error {
 	}
 	if w.epoch.locked[trank] {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Lock(%d) while already holding a lock on that rank", trank)
+		return fmt.Errorf("mpi2rma: Lock(%d) while already holding a lock on that rank: %w", trank, core.ErrEpoch)
 	}
 	w.mu.Unlock()
 
@@ -54,7 +55,7 @@ func (w *Win) Unlock(trank int) error {
 	w.mu.Lock()
 	if !w.epoch.locked[trank] {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Unlock(%d) without holding the lock", trank)
+		return fmt.Errorf("mpi2rma: Unlock(%d) without holding the lock: %w", trank, core.ErrEpoch)
 	}
 	delete(w.epoch.locked, trank)
 	w.mu.Unlock()

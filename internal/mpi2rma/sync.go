@@ -3,6 +3,7 @@ package mpi2rma
 import (
 	"fmt"
 
+	"mpi3rma/internal/core"
 	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/vtime"
 )
@@ -16,11 +17,11 @@ func (w *Win) Fence() error {
 	w.mu.Lock()
 	if w.freed {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Fence on freed window")
+		return fmt.Errorf("mpi2rma: Fence on freed window: %w", core.ErrBadHandle)
 	}
 	if w.epoch.accessGroup != nil || w.epoch.postGroup != nil || len(w.epoch.locked) > 0 {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Fence while a PSCW or lock epoch is open")
+		return fmt.Errorf("mpi2rma: Fence while a PSCW or lock epoch is open: %w", core.ErrEpoch)
 	}
 	w.mu.Unlock()
 	// Complete all of this rank's outstanding accesses, then barrier so
@@ -41,7 +42,7 @@ func (w *Win) Post(group []int) error {
 	w.mu.Lock()
 	if w.epoch.postGroup != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Post while an exposure epoch is already open")
+		return fmt.Errorf("mpi2rma: Post while an exposure epoch is already open: %w", core.ErrEpoch)
 	}
 	pg := make(map[int]bool, len(group))
 	for _, g := range group {
@@ -62,7 +63,7 @@ func (w *Win) Start(group []int) error {
 	w.mu.Lock()
 	if w.epoch.accessGroup != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Start while an access epoch is already open")
+		return fmt.Errorf("mpi2rma: Start while an access epoch is already open: %w", core.ErrEpoch)
 	}
 	ag := make(map[int]bool, len(group))
 	for _, g := range group {
@@ -98,7 +99,7 @@ func (w *Win) Complete() error {
 	group := w.epoch.accessGroup
 	if group == nil {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Complete without a matching Start")
+		return fmt.Errorf("mpi2rma: Complete without a matching Start: %w", core.ErrEpoch)
 	}
 	w.epoch.accessGroup = nil
 	w.mu.Unlock()
@@ -119,7 +120,7 @@ func (w *Win) Wait() error {
 	group := w.epoch.postGroup
 	if group == nil {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Wait without a matching Post")
+		return fmt.Errorf("mpi2rma: Wait without a matching Post: %w", core.ErrEpoch)
 	}
 	for {
 		all := true
@@ -150,7 +151,7 @@ func (w *Win) Test() (bool, error) {
 	group := w.epoch.postGroup
 	if group == nil {
 		w.mu.Unlock()
-		return false, fmt.Errorf("mpi2rma: Test without a matching Post")
+		return false, fmt.Errorf("mpi2rma: Test without a matching Post: %w", core.ErrEpoch)
 	}
 	for g := range group {
 		if !w.donesSeen[g] {

@@ -187,7 +187,7 @@ func (r *RMA) WinCreate(comm *runtime.Comm, region memsim.Region) (*Win, error) 
 	flat = comm.Bcast(0, flat)
 	n := comm.Size()
 	if len(flat)%n != 0 {
-		return nil, fmt.Errorf("mpi2rma: descriptor exchange returned %d bytes for %d ranks", len(flat), n)
+		return nil, fmt.Errorf("mpi2rma: descriptor exchange returned %d bytes for %d ranks: %w", len(flat), n, core.ErrEpoch)
 	}
 	per := len(flat) / n
 	tms := make([]core.TargetMem, n)
@@ -228,11 +228,11 @@ func (w *Win) Free() error {
 	w.mu.Lock()
 	if w.freed {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: window already freed")
+		return fmt.Errorf("mpi2rma: window already freed: %w", core.ErrBadHandle)
 	}
 	if w.epoch.accessGroup != nil || w.epoch.postGroup != nil || len(w.epoch.locked) > 0 {
 		w.mu.Unlock()
-		return fmt.Errorf("mpi2rma: Win_free inside an open epoch")
+		return fmt.Errorf("mpi2rma: Win_free inside an open epoch: %w", core.ErrEpoch)
 	}
 	w.freed = true
 	w.mu.Unlock()
@@ -263,7 +263,7 @@ func (w *Win) accessAllowed(trank int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.freed {
-		return fmt.Errorf("mpi2rma: RMA call on freed window")
+		return fmt.Errorf("mpi2rma: RMA call on freed window: %w", core.ErrBadHandle)
 	}
 	if w.epoch.fenceOpen {
 		return nil
@@ -274,7 +274,7 @@ func (w *Win) accessAllowed(trank int) error {
 	if w.epoch.locked[trank] {
 		return nil
 	}
-	return fmt.Errorf("mpi2rma: RMA access to rank %d outside any epoch (MPI-2 requires fence, start, or lock)", trank)
+	return fmt.Errorf("mpi2rma: RMA access to rank %d outside any epoch (MPI-2 requires fence, start, or lock): %w", trank, core.ErrEpoch)
 }
 
 // Put transfers origin data into target rank trank's window memory at
@@ -345,7 +345,9 @@ func (w *Win) resetOverlapEpoch() {
 	w.overlapMu.Unlock()
 }
 
-// sendCtl ships a window-protocol control message.
+// sendCtl ships a window-protocol control message. A failed send can only
+// mean the world is shutting down; the message is dropped and counted
+// rather than crashing the caller.
 func (w *Win) sendCtl(kind uint8, commDst int, arg uint64, reqID uint64) {
 	p := w.rma.proc
 	m := &simnet.Message{Dst: w.comm.WorldRank(commDst), Kind: kind}
@@ -353,7 +355,8 @@ func (w *Win) sendCtl(kind uint8, commDst int, arg uint64, reqID uint64) {
 	m.Hdr[hArg] = arg
 	m.Hdr[hReq] = reqID
 	if _, err := p.NIC().Send(p.Now(), m); err != nil {
-		panic(err)
+		p.NIC().BadReq.Inc()
+		return
 	}
 	p.NIC().CPU().AdvanceTo(m.SentAt)
 }

@@ -63,6 +63,11 @@ type NIC struct {
 
 	mu       sync.Mutex
 	handlers map[uint8]Handler
+	// pending holds messages that arrived before their kind's handler was
+	// registered: rank startup is not synchronized, so a fast origin can
+	// have traffic in flight before the target's upper layers attach.
+	// RegisterHandler drains a kind's backlog in arrival order.
+	pending  map[uint8][]*simnet.Message
 	mds      []*MD
 	table    map[int]*MD // portal index -> MD exposed for remote access
 
@@ -83,6 +88,7 @@ func NewNIC(ep *simnet.Endpoint, mem *memsim.Memory, cfg Config) *NIC {
 		mem:      mem,
 		cfg:      cfg,
 		handlers: make(map[uint8]Handler),
+		pending:  make(map[uint8][]*simnet.Message),
 		table:    make(map[int]*MD),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -110,15 +116,29 @@ func (n *NIC) Now() vtime.Time { return n.cpu.Now() }
 // HardwareAcks reports whether the NIC generates acknowledgements itself.
 func (n *NIC) HardwareAcks() bool { return n.cfg.HardwareAcks }
 
-// RegisterHandler installs h for message kind k. Registering a kind twice
-// panics: kinds are statically partitioned between layers (see kinds.go).
+// RegisterHandler installs h for message kind k and delivers, in arrival
+// order, any messages of that kind that arrived before registration.
+// Registering a kind twice panics: kinds are statically partitioned
+// between layers (see kinds.go).
 func (n *NIC) RegisterHandler(k uint8, h Handler) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, dup := n.handlers[k]; dup {
+		n.mu.Unlock()
 		panic(fmt.Sprintf("portals: duplicate handler for kind %d on rank %d", k, n.ep.ID()))
 	}
 	n.handlers[k] = h
+	// Drain the backlog one message at a time: dispatch keeps parking new
+	// arrivals of this kind while a backlog exists, so per-kind delivery
+	// order is preserved even against the concurrent agent.
+	for len(n.pending[k]) > 0 {
+		m := n.pending[k][0]
+		n.pending[k] = n.pending[k][1:]
+		n.mu.Unlock()
+		n.deliver(h, m)
+		n.mu.Lock()
+	}
+	delete(n.pending, k)
+	n.mu.Unlock()
 }
 
 // Send injects m at virtual time now and returns its arrival time at the
@@ -157,17 +177,24 @@ func (n *NIC) agent() {
 	}
 }
 
-// dispatch routes one message to its handler.
+// dispatch routes one message to its handler, parking it if the owning
+// layer has not registered the kind yet (or is still draining a backlog).
 func (n *NIC) dispatch(m *simnet.Message) {
 	n.mu.Lock()
 	h := n.handlers[m.Kind]
-	n.mu.Unlock()
-	if h == nil {
-		panic(fmt.Sprintf("portals: rank %d received message of unregistered kind %d from %d", n.ep.ID(), m.Kind, m.Src))
+	if h == nil || len(n.pending[m.Kind]) > 0 {
+		n.pending[m.Kind] = append(n.pending[m.Kind], m)
+		n.mu.Unlock()
+		return
 	}
-	// Charge delivery on the target NIC's ingress lane: per-message
-	// overhead plus per-byte DMA cost. All senders share this lane — the
-	// target NIC is the funnel the Figure 2 workload contends on.
+	n.mu.Unlock()
+	n.deliver(h, m)
+}
+
+// deliver charges delivery on the target NIC's ingress lane — per-message
+// overhead plus per-byte DMA cost; all senders share this lane, the
+// funnel the Figure 2 workload contends on — then runs the handler.
+func (n *NIC) deliver(h Handler, m *simnet.Message) {
 	at := n.ep.DeliverLane().Complete(m.ArriveAt, n.ep.Cost().Deliver(len(m.Payload)))
 	h(m, at)
 }

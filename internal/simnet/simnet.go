@@ -134,6 +134,12 @@ type Message struct {
 	Seq uint64
 	// Hdr carries op-specific header words (offsets, counts, op codes).
 	Hdr [6]uint64
+	// Ops is the number of logical operations the message carries (0 is
+	// treated as 1). Aggregated messages — one wire message coalescing
+	// many small RMA operations — set it so the network's LogicalOps
+	// counter stays comparable across batched and unbatched runs, while
+	// Msgs counts wire messages (and therefore per-message overhead paid).
+	Ops int
 	// Payload is the message body. simnet does not copy it; senders must
 	// not reuse the slice after Send.
 	Payload []byte
@@ -150,9 +156,12 @@ type Network struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
-	// Counters for tests and the benchmark harness.
-	Msgs  stats.Counter
-	Bytes stats.Counter
+	// Counters for tests and the benchmark harness. Msgs counts wire
+	// messages; LogicalOps counts the operations they carry (equal to
+	// Msgs unless aggregated messages are in use); Bytes counts payload.
+	Msgs       stats.Counter
+	LogicalOps stats.Counter
+	Bytes      stats.Counter
 }
 
 // New constructs a network and its endpoints.
@@ -302,6 +311,11 @@ func (ep *Endpoint) Send(now vtime.Time, m *Message) (vtime.Time, error) {
 	m.ArriveAt = sent + vtime.Time(cost.Wire(len(m.Payload)))
 
 	ep.net.Msgs.Inc()
+	if m.Ops > 1 {
+		ep.net.LogicalOps.Add(int64(m.Ops))
+	} else {
+		ep.net.LogicalOps.Inc()
+	}
 	ep.net.Bytes.Add(int64(len(m.Payload)))
 
 	if hook := ep.cfg.TestHook; hook != nil {
@@ -343,6 +357,11 @@ func (ep *Endpoint) SendNIC(sentAt vtime.Time, m *Message) (vtime.Time, error) {
 	m.ArriveAt = sentAt + vtime.Time(ep.cfg.Cost.Wire(len(m.Payload)))
 
 	ep.net.Msgs.Inc()
+	if m.Ops > 1 {
+		ep.net.LogicalOps.Add(int64(m.Ops))
+	} else {
+		ep.net.LogicalOps.Inc()
+	}
 	ep.net.Bytes.Add(int64(len(m.Payload)))
 
 	if hook := ep.cfg.TestHook; hook != nil {

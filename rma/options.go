@@ -1,0 +1,122 @@
+package rma
+
+import (
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/serializer"
+)
+
+// Option configures a Session (passed to Open) or a single operation
+// (passed to Put, Get, Accumulate, ...). Attribute options work in both
+// positions: at Open they become the engine-wide defaults of requirement 5
+// ("most stringent rules while debugging"); on an operation they apply to
+// that transfer alone. Session-only options (WithBatch, WithAtomicity,
+// WithProbeCompletion) are ignored when passed to an operation.
+type Option func(*config)
+
+type config struct {
+	attrs  core.Attr
+	opts   core.Options
+	tcount int
+	tdt    Type
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) engineOptions() core.Options {
+	o := c.opts
+	o.DefaultAttrs |= c.attrs
+	return o
+}
+
+// targetLayout resolves the target-side count/datatype: symmetric with the
+// origin unless WithTargetLayout overrode it.
+func (c config) targetLayout(ocount int, odt Type) (int, Type) {
+	if c.tdt != nil {
+		return c.tcount, c.tdt
+	}
+	return ocount, odt
+}
+
+// WithOrdering requests the Ordering attribute: operations to the same
+// target apply in issue order. Within one atomicity class when batching
+// reorders across classes; see DESIGN.md §5.
+func WithOrdering() Option {
+	return func(c *config) { c.attrs |= core.AttrOrdering }
+}
+
+// WithRemoteComplete requests the RemoteComplete attribute: the request
+// completes only once the data is applied at the target, not merely when
+// the origin buffer is reusable.
+func WithRemoteComplete() Option {
+	return func(c *config) { c.attrs |= core.AttrRemoteComplete }
+}
+
+// WithAtomic requests the Atomic attribute: the update is applied through
+// the target's serializer so concurrent accumulates from many origins
+// do not interleave element-wise.
+func WithAtomic() Option {
+	return func(c *config) { c.attrs |= core.AttrAtomic }
+}
+
+// WithBlocking makes the call return only when the operation's request
+// would complete; the returned request is already done.
+func WithBlocking() Option {
+	return func(c *config) { c.attrs |= core.AttrBlocking }
+}
+
+// WithNotify asks the target to report the operation's application on the
+// per-origin delivery counter, so a later Complete can finish without a
+// probe round-trip (notified completion).
+func WithNotify() Option {
+	return func(c *config) { c.attrs |= core.AttrNotify }
+}
+
+// WithStrictDebug is the requirement-5 debugging preset: ordered,
+// remotely complete, and atomic. Install at Open while debugging, delete
+// the option when done — no transfer call changes.
+func WithStrictDebug() Option {
+	return func(c *config) { c.attrs |= core.StrictDebugAttrs }
+}
+
+// WithTargetLayout transfers into a target-side layout different from the
+// origin's (e.g. scattering a contiguous origin buffer into a Vector).
+// The type signatures must still match element-wise.
+func WithTargetLayout(tcount int, tdt Type) Option {
+	return func(c *config) { c.tcount, c.tdt = tcount, tdt }
+}
+
+// WithBatch enables origin-side operation batching (Open only): up to
+// maxOps small puts/accumulates per target are coalesced into one
+// aggregated wire message, amortizing per-message overhead. Batches flush
+// when full, when a non-batchable operation targets the same rank, and at
+// Flush/Order/Complete.
+func WithBatch(maxOps int) Option {
+	return func(c *config) { c.opts.BatchOps = maxOps }
+}
+
+// WithBatchBytes bounds one batch's accumulated payload (Open only;
+// default rma core DefaultBatchBytes). Larger operations bypass batching.
+func WithBatchBytes(n int) Option {
+	return func(c *config) { c.opts.BatchBytes = n }
+}
+
+// WithAtomicity selects the serializer mechanism backing the Atomic
+// attribute (Open only): serializer.MechThread, MechCoarseLock, or
+// MechProgress — the three implementation strategies of the paper's
+// Figure 2.
+func WithAtomicity(m serializer.Mechanism) Option {
+	return func(c *config) { c.opts.Atomicity = m }
+}
+
+// WithProbeCompletion forces Complete to use the probe round-trip even
+// when delivery counters could answer locally (Open only). For A/B
+// measurements; leave off in applications.
+func WithProbeCompletion() Option {
+	return func(c *config) { c.opts.ProbeCompletion = true }
+}

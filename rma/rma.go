@@ -1,0 +1,236 @@
+// Package rma is the public face of the strawman MPI-3 RMA interface
+// (paper Section IV), layered over internal/core. It is what examples and
+// application code import; the internal packages stay free to refactor.
+//
+// The shape of the API:
+//
+//	world := runtime.NewWorld(runtime.Config{Ranks: 4})
+//	world.Run(func(p *runtime.Proc) {
+//		s := rma.Open(p, rma.WithBatch(16))
+//		tm, region := s.Expose(1024)            // no collective window
+//		... ship tm.Encode() to the origins ...
+//		s.Put(src, n, rma.Byte, tm, disp)        // nonblocking put
+//		s.Put(src, n, rma.Byte, tm, disp,
+//			rma.WithOrdering(), rma.WithNotify()) // per-op attributes
+//		s.Complete(tm.Owner)                     // RMA_complete
+//	})
+//
+// Per-operation attributes — the paper's central design point — are
+// functional options (WithOrdering, WithAtomic, WithRemoteComplete,
+// WithBlocking, WithNotify). Session-level behaviour (operation batching,
+// the atomicity mechanism, engine-wide default attributes) is configured by
+// options passed to Open.
+//
+// Transfers default to a symmetric layout: the count and datatype given
+// for the origin buffer also describe the target side. Use
+// WithTargetLayout to transfer into a different (e.g. strided) target
+// layout.
+package rma
+
+import (
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+)
+
+// Re-exported core types. TargetMem is the paper's target_mem object;
+// Request tracks one nonblocking operation; Region names local memory.
+type (
+	TargetMem = core.TargetMem
+	Request   = core.Request
+	Region    = memsim.Region
+	Type      = datatype.Type
+	AccOp     = core.AccOp
+)
+
+// Predefined datatypes.
+var (
+	Byte    = datatype.Byte
+	Int32   = datatype.Int32
+	Int64   = datatype.Int64
+	Float32 = datatype.Float32
+	Float64 = datatype.Float64
+)
+
+// Derived-datatype constructors (MPI-style layouts for strided and
+// irregular transfers).
+var (
+	Contiguous = datatype.Contiguous
+	Vector     = datatype.Vector
+	Indexed    = datatype.Indexed
+	Struct     = datatype.Struct
+)
+
+// Field describes one member of a Struct datatype.
+type Field = datatype.Field
+
+// Accumulate combining operations.
+const (
+	Replace = core.AccReplace
+	Sum     = core.AccSum
+	Prod    = core.AccProd
+	Min     = core.AccMin
+	Max     = core.AccMax
+)
+
+// Sentinel errors; every error the library returns wraps one of these
+// (classify with errors.Is — see internal/core/errors.go for the taxonomy).
+var (
+	ErrBadHandle = core.ErrBadHandle
+	ErrBounds    = core.ErrBounds
+	ErrType      = core.ErrType
+	ErrEpoch     = core.ErrEpoch
+)
+
+// AllRanks, passed as the target of Complete or Order, covers every rank.
+const AllRanks = core.AllRanks
+
+// Re-exported request-completion helpers.
+var (
+	WaitAll = core.WaitAll
+	WaitAny = core.WaitAny
+	TestAll = core.TestAll
+)
+
+// DecodeTargetMem reverses TargetMem.Encode for descriptors shipped
+// through ordinary messages.
+var DecodeTargetMem = core.DecodeTargetMem
+
+// Session is one rank's handle on the RMA library. Obtain it with Open;
+// it is safe to call Open repeatedly (options are honoured by the first
+// call of the rank).
+type Session struct {
+	eng  *core.Engine
+	proc *runtime.Proc
+	comm *runtime.Comm
+}
+
+// Open attaches the RMA engine to the calling rank and returns its
+// session. Session-level options (WithBatch, WithAtomicity,
+// WithProbeCompletion, and attribute options as engine-wide defaults) are
+// honoured only by the rank's first Open.
+func Open(p *runtime.Proc, opts ...Option) *Session {
+	cfg := buildConfig(opts)
+	return &Session{
+		eng:  core.Attach(p, cfg.engineOptions()),
+		proc: p,
+		comm: p.Comm(),
+	}
+}
+
+// Proc returns the owning simulated process.
+func (s *Session) Proc() *runtime.Proc { return s.proc }
+
+// Engine exposes the underlying core engine — the escape hatch for
+// facilities the façade does not wrap (active messages, tracing, derived
+// statistics).
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Expose allocates size bytes and exposes them as a target_mem object.
+// Nothing collective happens: the owner alone creates the exposure
+// (requirement 1) and ships the descriptor to whoever should access it.
+func (s *Session) Expose(size int) (TargetMem, Region) {
+	return s.eng.ExposeNew(size)
+}
+
+// ExposeRegion exposes existing memory (heap/stack association).
+func (s *Session) ExposeRegion(r Region) TargetMem {
+	return s.eng.Expose(r)
+}
+
+// ExposeCollective is the collective-allocation convenience: every rank
+// contributes size bytes and receives all ranks' descriptors.
+func (s *Session) ExposeCollective(size int) ([]TargetMem, Region, error) {
+	return s.eng.ExposeCollective(s.comm, size)
+}
+
+// Retract withdraws an exposure this rank owns.
+func (s *Session) Retract(tm TargetMem) error { return s.eng.Retract(tm) }
+
+// Put transfers count elements of dt from the origin region into dst at
+// byte displacement tdisp (MPI_RMA_put). Nonblocking by default: the
+// returned request completes when the origin buffer is reusable (or, with
+// WithRemoteComplete, when the data is applied at the target).
+func (s *Session) Put(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
+	c := buildConfig(opts)
+	tcount, tdt := c.targetLayout(count, dt)
+	return s.eng.Put(origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
+}
+
+// PutNotify is Put with the Notify attribute: the target reports the
+// operation's application on a delivery counter, feeding Complete's
+// probe-free fast path.
+func (s *Session) PutNotify(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
+	return s.Put(origin, count, dt, dst, tdisp, append(opts, WithNotify())...)
+}
+
+// Get transfers count elements of dt from src at byte displacement tdisp
+// into the origin region (MPI_RMA_get). The request completes when the
+// data has landed; check Request.Err for target-side failures.
+func (s *Session) Get(origin Region, count int, dt Type, src TargetMem, tdisp int, opts ...Option) (*Request, error) {
+	c := buildConfig(opts)
+	tcount, tdt := c.targetLayout(count, dt)
+	return s.eng.Get(origin, count, dt, src, tdisp, tcount, tdt, src.Owner, s.comm, c.attrs)
+}
+
+// Accumulate combines count elements of dt from the origin region into dst
+// with op (MPI_RMA_xfer with an accumulate optype).
+func (s *Session) Accumulate(op AccOp, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
+	c := buildConfig(opts)
+	tcount, tdt := c.targetLayout(count, dt)
+	return s.eng.Accumulate(op, origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
+}
+
+// AccumulateAxpy performs target = scale*origin + target over
+// floating-point elements (the ARMCI-style daxpy accumulate).
+func (s *Session) AccumulateAxpy(scale float64, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
+	c := buildConfig(opts)
+	tcount, tdt := c.targetLayout(count, dt)
+	return s.eng.AccumulateAxpy(scale, origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
+}
+
+// FetchAdd atomically adds delta to the int64 at tm+tdisp, returning the
+// previous value (the unconditional read-modify-write of Section V).
+func (s *Session) FetchAdd(tm TargetMem, tdisp int, delta int64, opts ...Option) (int64, error) {
+	c := buildConfig(opts)
+	return s.eng.FetchAdd(tm, tdisp, delta, tm.Owner, s.comm, c.attrs)
+}
+
+// CompareSwap atomically compares the int64 at tm+tdisp with compare and,
+// if equal, stores swap; it returns the previous value.
+func (s *Session) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, opts ...Option) (int64, error) {
+	c := buildConfig(opts)
+	return s.eng.CompareSwap(tm, tdisp, compare, swap, tm.Owner, s.comm, c.attrs)
+}
+
+// Flush transmits every batched operation still held in this rank's issue
+// rings. Complete and Order flush implicitly; call Flush to push pending
+// aggregates without synchronizing.
+func (s *Session) Flush() { s.eng.Flush() }
+
+// Complete blocks until every operation this rank issued to the target
+// world rank (or AllRanks) has been applied there — MPI_RMA_complete.
+// With notified or batched operations it completes on delivery counters
+// without network traffic; otherwise it pays one probe round-trip per
+// target.
+func (s *Session) Complete(target int) error {
+	return s.eng.Complete(s.comm, target)
+}
+
+// CompleteAll is Complete(AllRanks).
+func (s *Session) CompleteAll() error { return s.eng.Complete(s.comm, AllRanks) }
+
+// CompleteCollective is the collective completion: every rank calls it; on
+// return every operation issued by anyone to anyone has been applied.
+func (s *Session) CompleteCollective() error { return s.eng.CompleteCollective(s.comm) }
+
+// Order guarantees operations issued to the target before the call apply
+// before operations issued after it — MPI_RMA_order, the weak
+// (fence-style) synchronization.
+func (s *Session) Order(target int) error {
+	return s.eng.Order(s.comm, target)
+}
+
+// OrderAll is Order(AllRanks).
+func (s *Session) OrderAll() error { return s.eng.Order(s.comm, AllRanks) }

@@ -1,0 +1,139 @@
+package rma_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+// TestFacadeEndToEnd drives the public API the way an application would:
+// batched session, descriptor exchange, puts with per-op attribute
+// options, notified completion, accumulate, and sentinel classification.
+func TestFacadeEndToEnd(t *testing.T) {
+	const ranks = 4
+	world := runtime.NewWorld(runtime.Config{Ranks: ranks})
+	defer world.Close()
+
+	err := world.Run(func(p *runtime.Proc) {
+		s := rma.Open(p, rma.WithBatch(8))
+
+		if p.Rank() == 0 {
+			tm, region := s.Expose(ranks * 8)
+			enc := tm.Encode()
+			for r := 1; r < ranks; r++ {
+				p.Send(r, 0, enc)
+			}
+			if err := s.CompleteCollective(); err != nil {
+				t.Errorf("complete collective: %v", err)
+			}
+			buf := p.Mem().Snapshot(region.Offset, ranks*8)
+			for r := 1; r < ranks; r++ {
+				got := int64(binary.LittleEndian.Uint64(buf[r*8:]))
+				if want := int64(r * 10); got != want {
+					t.Errorf("rank %d slot holds %d, want %d", r, got, want)
+				}
+			}
+			return
+		}
+
+		enc, _ := p.Recv(0, 0)
+		tm, err := rma.DecodeTargetMem(enc)
+		if err != nil {
+			t.Fatalf("decode descriptor: %v", err)
+		}
+		src := p.Alloc(8)
+		write := func(v int64) {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			p.WriteLocal(src, 0, b[:])
+		}
+
+		// A put and an atomic accumulate ride the same batch; together
+		// they leave rank*10 in this rank's slot.
+		write(int64(p.Rank() * 4))
+		if _, err := s.Put(src, 1, rma.Int64, tm, p.Rank()*8); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		write(int64(p.Rank() * 6))
+		if _, err := s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, p.Rank()*8, rma.WithAtomic()); err != nil {
+			t.Fatalf("accumulate: %v", err)
+		}
+		if err := s.Complete(tm.Owner); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+		if s.Engine().Batches.Value() < 1 {
+			t.Error("session-level WithBatch did not reach the engine")
+		}
+
+		// Per-op options: a blocking put returns an already-done request.
+		write(int64(p.Rank() * 10))
+		req, err := s.Put(src, 1, rma.Int64, tm, p.Rank()*8, rma.WithBlocking())
+		if err != nil {
+			t.Fatalf("blocking put: %v", err)
+		}
+		if !req.Test() {
+			t.Error("blocking put returned an unfinished request")
+		}
+		if err := s.Complete(tm.Owner); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+
+		// Errors classify through the re-exported sentinels.
+		if _, err := s.Put(src, 1, rma.Int64, tm, ranks*800); !errors.Is(err, rma.ErrBounds) {
+			t.Errorf("out-of-bounds put returned %v, want ErrBounds", err)
+		}
+		if err := s.CompleteCollective(); err != nil {
+			t.Errorf("complete collective: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeTargetLayout: WithTargetLayout transfers a contiguous origin
+// buffer into a non-symmetric target layout.
+func TestFacadeTargetLayout(t *testing.T) {
+	world := runtime.NewWorld(runtime.Config{Ranks: 2})
+	defer world.Close()
+
+	err := world.Run(func(p *runtime.Proc) {
+		s := rma.Open(p)
+		if p.Rank() == 0 {
+			tm, region := s.Expose(8)
+			p.Send(1, 0, tm.Encode())
+			if err := s.CompleteCollective(); err != nil {
+				t.Errorf("complete collective: %v", err)
+			}
+			got := p.Mem().Snapshot(region.Offset, 8)
+			want := []byte{1, 2, 0, 0, 3, 4, 0, 0}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("target byte %d is %d, want %d", i, got[i], want[i])
+				}
+			}
+			return
+		}
+		enc, _ := p.Recv(0, 0)
+		tm, _ := rma.DecodeTargetMem(enc)
+		src := p.Alloc(4)
+		p.WriteLocal(src, 0, []byte{1, 2, 3, 4})
+		// 4 contiguous bytes scatter into 2 blocks of 2 with stride 4.
+		vec := rma.Vector(2, 2, 4, rma.Byte)
+		if _, err := s.Put(src, 4, rma.Byte, tm, 0, rma.WithTargetLayout(1, vec), rma.WithBlocking()); err != nil {
+			t.Fatalf("strided put: %v", err)
+		}
+		if err := s.Complete(tm.Owner); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+		if err := s.CompleteCollective(); err != nil {
+			t.Errorf("complete collective: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
