@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench
+.PHONY: check build vet test race smoke smoke-metrics bench
 
 # check is the PR gate: vet, build, full tests, the race detector over the
-# RMA engine, and a short E13 smoke bench proving batching still pays.
-check: vet build test race smoke
+# RMA engine and telemetry layer, a short E13 smoke bench proving batching
+# still pays, and a telemetry smoke run proving the JSON exporters parse.
+check: vet build test race smoke smoke-metrics
 
 build:
 	$(GO) build ./...
@@ -16,10 +17,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/trace/...
 
 smoke:
 	$(GO) test -run TestE13Smoke -count=1 ./internal/bench/
+
+# smoke-metrics runs one telemetry-instrumented experiment end to end:
+# rmabench validates the metrics and trace JSON re-parse before exiting 0.
+smoke-metrics:
+	$(GO) run ./cmd/rmabench -exp fig2 -metrics -trace /tmp/rmabench-fig2-trace.json > /dev/null
 
 bench:
 	$(GO) run ./cmd/rmabench

@@ -5,6 +5,9 @@
 //	rmabench                 # run every experiment, print tables
 //	rmabench -exp fig2       # one experiment
 //	rmabench -exp fig2 -csv  # CSV to stdout (for plotting)
+//	rmabench -exp e13 -metrics -trace e13-trace.json
+//	                         # telemetry sidecars: metrics JSON on stdout,
+//	                         # merged protocol timeline + spans to a file
 //	rmabench -list           # list experiment ids
 //
 // Experiment ids and what they reproduce are catalogued in DESIGN.md; the
@@ -12,6 +15,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +29,17 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	plot := flag.Bool("plot", false, "append an ASCII summary plot per experiment")
+	metrics := flag.Bool("metrics", false, "collect telemetry and print each experiment's metrics snapshot as JSON")
+	traceOut := flag.String("trace", "", "collect telemetry and write the merged trace timeline + spans JSON to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
+	}
+	if *metrics || *traceOut != "" {
+		bench.SetTelemetry(true)
 	}
 
 	var results []bench.Result
@@ -48,11 +58,76 @@ func main() {
 	for _, res := range results {
 		if *csv {
 			bench.WriteCSV(os.Stdout, res)
-			continue
+		} else {
+			bench.WriteTable(os.Stdout, res)
+			if *plot {
+				bench.WritePlot(os.Stdout, res)
+			}
 		}
-		bench.WriteTable(os.Stdout, res)
-		if *plot {
-			bench.WritePlot(os.Stdout, res)
+		if *metrics {
+			emitMetrics(res)
+		}
+		if *traceOut != "" {
+			writeTrace(res, *traceOut, len(results) > 1)
 		}
 	}
+}
+
+// emitMetrics prints one experiment's metrics snapshot as JSON, validating
+// that the emitted bytes parse back (so a broken exporter fails the run,
+// not a downstream pipeline).
+func emitMetrics(res bench.Result) {
+	var buf bytes.Buffer
+	if err := res.WriteMetricsJSON(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: metrics export for %s: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	var check map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &check); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: metrics JSON for %s does not parse: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s metrics (JSON) ==\n", res.Name)
+	os.Stdout.Write(buf.Bytes())
+}
+
+// writeTrace writes one experiment's trace sidecar. With several
+// experiments in one invocation the experiment id is inserted before the
+// file extension so the sidecars do not overwrite each other.
+func writeTrace(res bench.Result, path string, multi bool) {
+	if multi {
+		if i := strings.LastIndex(path, "."); i > 0 {
+			path = path[:i] + "-" + res.Name + path[i:]
+		} else {
+			path = path + "-" + res.Name
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTraceJSON(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: trace export for %s: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	var check map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &check); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: trace JSON for %s does not parse: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace sidecar written to %s (%d events, %d bytes)\n",
+		path, traceEventCount(buf.Bytes()), buf.Len())
+}
+
+// traceEventCount reports how many events a trace sidecar carries (best
+// effort, for the confirmation line).
+func traceEventCount(b []byte) int {
+	var dump struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(b, &dump); err != nil {
+		return 0
+	}
+	return len(dump.Events)
 }

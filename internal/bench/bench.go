@@ -45,6 +45,9 @@ type Result struct {
 	Rows []Row
 	// Notes carries free-form observations (counter dumps, shape checks).
 	Notes []string
+	// Telemetry is the machine-readable sidecar, populated when harness
+	// telemetry is on (SetTelemetry / rmabench -metrics).
+	Telemetry *TelemetrySummary
 }
 
 // Add appends a data point.

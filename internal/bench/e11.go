@@ -33,15 +33,17 @@ func RunE11() Result {
 			netName = "unordered net"
 		}
 		for i, series := range res.SeriesOrder {
-			row := runE11Cell(i, unordered, batches, perBatch)
+			row, tel := runE11Cell(i, unordered, batches, perBatch)
 			row.Series = series
 			row.Extra["net_unordered"] = boolTo01(unordered)
+			res.absorbTelemetry(tel)
 			res.Add(row)
 			_ = netName
 		}
 	}
 	res.Notef("size column: 0 = ordered network, 1 = unordered network; %d batches of %d 64B puts", batches, perBatch)
 	res.Notef("expected: Order free on ordered nets, cheaper than Complete on unordered nets")
+	res.noteTelemetry()
 	return res
 }
 
@@ -53,13 +55,15 @@ func boolTo01(b bool) float64 {
 }
 
 // runE11Cell: mode 0 = none, 1 = Order, 2 = Complete between batches.
-func runE11Cell(mode int, unordered bool, batches, perBatch int) Row {
+func runE11Cell(mode int, unordered bool, batches, perBatch int) (Row, *TelemetrySummary) {
 	w := runtime.NewWorld(runtime.Config{Ranks: 2, UnorderedNet: unordered, Seed: 77})
 	defer w.Close()
 	var meas measure
 	var fenceStalls int64
+	col := newCollector()
 	err := w.Run(func(p *runtime.Proc) {
 		e := core.Attach(p, core.Options{})
+		col.attach(p.Rank(), e)
 		comm := p.Comm()
 		if p.Rank() == 0 {
 			tm, _ := e.ExposeNew(64)
@@ -108,5 +112,5 @@ func runE11Cell(mode int, unordered bool, batches, perBatch int) Row {
 	}
 	row := meas.row("", size)
 	row.Extra["fence_stalls"] = float64(fenceStalls)
-	return row
+	return row, col.summary()
 }

@@ -56,6 +56,7 @@ func RunE12() Result {
 					},
 				})
 				sum += out.Row.ModelUS
+				res.absorbTelemetry(out.Telemetry)
 			}
 			means[s.Name] = sum / float64(len(sizes))
 		}
@@ -91,6 +92,7 @@ func RunE12() Result {
 			means["ordering"]/none, means["remote complete"]/none,
 			means["atomicity + thread serializer"]/none, means["atomicity + coarse lock"]/none)
 	}
+	res.noteTelemetry()
 	return res
 }
 

@@ -91,6 +91,7 @@ func RunE13() Result {
 			if !out.Verified {
 				res.Notef("VERIFY FAILED: series %q size %d left inconsistent target memory", s.name, size)
 			}
+			res.absorbTelemetry(out.Telemetry)
 			res.Add(row)
 		}
 	}
@@ -109,10 +110,12 @@ func RunE13() Result {
 		if !out.Verified {
 			res.Notef("VERIFY FAILED: batch sweep b=%d left inconsistent target memory", b)
 		}
+		res.absorbTelemetry(out.Telemetry)
 		res.Add(row)
 	}
 
 	res.Notes = append(res.Notes, e13ShapeNotes(&res)...)
+	res.noteTelemetry()
 	return res
 }
 

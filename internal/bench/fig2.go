@@ -114,6 +114,9 @@ type PutsCompleteOutcome struct {
 	// Batches, Notifies and FastPaths describe the batching/notified-
 	// completion machinery, summed over the origins.
 	Batches, Notifies, FastPaths int64
+	// Telemetry is the cell's merged metrics/trace sidecar, non-nil only
+	// when harness telemetry is on (SetTelemetry).
+	Telemetry *TelemetrySummary
 	// Verified is false if the final target memory did not contain bytes
 	// from one of the origins (every put targets the same region, so the
 	// last writer wins — any origin's fill value is legal).
@@ -158,6 +161,7 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	var meas measure
 	var outMu sync.Mutex
 	out := PutsCompleteOutcome{Verified: true}
+	col := newCollector()
 
 	err := w.Run(func(p *runtime.Proc) {
 		e := core.Attach(p, core.Options{
@@ -166,6 +170,7 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 			BatchOps:        cfg.BatchOps,
 			ProbeCompletion: cfg.ProbeCompletion,
 		})
+		col.attach(p.Rank(), e)
 		comm := p.Comm()
 		if p.Rank() == 0 {
 			tm, region := e.ExposeNew(cfg.Size)
@@ -243,6 +248,7 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	out.Bytes = w.Net().Bytes.Value()
 	out.LogicalOps = w.Net().LogicalOps.Value()
 	out.SoftAcks = softAckTotal(w)
+	out.Telemetry = col.summary()
 	return out
 }
 
@@ -269,10 +275,12 @@ func RunFig2() Result {
 			if !out.Verified {
 				res.Notef("VERIFY FAILED: series %q size %d left inconsistent target memory", s.Name, size)
 			}
+			res.absorbTelemetry(out.Telemetry)
 			res.Add(row)
 		}
 	}
 	res.Notes = append(res.Notes, fig2ShapeNotes(&res)...)
+	res.noteTelemetry()
 	return res
 }
 

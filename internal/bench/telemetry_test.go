@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mpi3rma/internal/serializer"
+)
+
+// TestTelemetrySidecar runs one small Figure-2 cell with harness telemetry
+// on and validates the machine-readable sidecar end to end: merged
+// counters reconcile with the workload, the metrics and trace JSON
+// exporters emit parseable documents, and the trace reconstructs at least
+// one cross-rank span that reaches an apply at the target.
+func TestTelemetrySidecar(t *testing.T) {
+	SetTelemetry(true)
+	defer SetTelemetry(false)
+
+	const origins, puts = 3, 10
+	out := RunPutsComplete(PutsCompleteConfig{
+		Origins: origins,
+		Puts:    puts,
+		Size:    64,
+		Mech:    serializer.MechThread,
+	})
+	if out.Telemetry == nil {
+		t.Fatal("telemetry enabled but cell produced no summary")
+	}
+	counters := out.Telemetry.Metrics.Counters
+	if got := counters["ops.issued"]; got != origins*puts {
+		t.Errorf("merged ops.issued = %d, want %d", got, origins*puts)
+	}
+	if got := counters["ops.applied"]; got != origins*puts {
+		t.Errorf("merged ops.applied = %d, want %d", got, origins*puts)
+	}
+	if counters["nic.msgs"] == 0 || counters["net.msgs"] == 0 {
+		t.Errorf("nic.msgs=%d net.msgs=%d, want both nonzero", counters["nic.msgs"], counters["net.msgs"])
+	}
+	// net.* aliases world-global cells; the merge must count them once,
+	// so the per-rank NIC deliveries must not be fewer than the network's
+	// message count (every network message is delivered by some NIC).
+	if counters["nic.msgs"] < counters["net.msgs"] {
+		t.Errorf("nic.msgs %d < net.msgs %d: net.* was multiply counted or deliveries lost",
+			counters["nic.msgs"], counters["net.msgs"])
+	}
+	if len(out.Telemetry.Metrics.Histograms) == 0 {
+		t.Error("no latency histograms recorded")
+	}
+
+	res := Result{Name: "probe"}
+	res.absorbTelemetry(out.Telemetry)
+	res.noteTelemetry()
+	if len(res.Notes) == 0 {
+		t.Error("noteTelemetry added no percentile notes")
+	}
+
+	var mbuf bytes.Buffer
+	if err := res.WriteMetricsJSON(&mbuf); err != nil {
+		t.Fatalf("metrics export: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mbuf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if snap.Counters["ops.issued"] != origins*puts {
+		t.Errorf("round-tripped ops.issued = %d, want %d", snap.Counters["ops.issued"], origins*puts)
+	}
+
+	var tbuf bytes.Buffer
+	if err := res.WriteTraceJSON(&tbuf); err != nil {
+		t.Fatalf("trace export: %v", err)
+	}
+	var dump struct {
+		Events []struct {
+			Rank int    `json:"rank"`
+			Cat  string `json:"cat"`
+		} `json:"events"`
+		Spans []struct {
+			Origin int      `json:"origin"`
+			ID     uint64   `json:"id"`
+			Path   []string `json:"path"`
+			Ranks  []int    `json:"ranks"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(tbuf.Bytes(), &dump); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("trace sidecar carries no events")
+	}
+	crossRank := false
+	for _, sp := range dump.Spans {
+		hasApply := false
+		for _, c := range sp.Path {
+			if c == "apply" {
+				hasApply = true
+			}
+		}
+		distinct := make(map[int]bool)
+		for _, r := range sp.Ranks {
+			distinct[r] = true
+		}
+		if hasApply && len(distinct) > 1 {
+			crossRank = true
+			break
+		}
+	}
+	if !crossRank {
+		t.Error("no span crosses ranks through an apply step")
+	}
+}

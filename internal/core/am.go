@@ -52,6 +52,7 @@ func (e *Engine) InvokeAM(id uint64, payload []byte, trank int, comm *runtime.Co
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	ts.singleton++
 	if attrs&(AttrRemoteComplete|AttrNotify) != 0 {
 		ts.willConfirm++
 	}
@@ -61,6 +62,7 @@ func (e *Engine) InvokeAM(id uint64, payload []byte, trank int, comm *runtime.Co
 	}
 	e.mu.Unlock()
 	e.OpsIssued.Inc()
+	e.SingletonOps.Inc()
 
 	req := e.newRequest()
 	m := newMsg(target, kAM)
@@ -80,6 +82,9 @@ func (e *Engine) InvokeAM(id uint64, payload []byte, trank int, comm *runtime.Co
 		return nil, err
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(m.SentAt, "issue", target, req.id, "am id=%d bytes=%d arrive=%d", id, len(payload), m.ArriveAt)
+	}
 	if attrs&AttrRemoteComplete == 0 {
 		req.complete(m.SentAt, nil)
 	}

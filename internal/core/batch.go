@@ -136,10 +136,20 @@ func (e *Engine) appendBatch(accOp AccOp, scale float64, origin memsim.Region, o
 		rc:     attrs&AttrRemoteComplete != 0,
 	}
 
+	if e.lat.Load() != nil {
+		if accOp == AccNone {
+			req.latKind = latPut
+		} else {
+			req.latKind = latAcc
+		}
+		req.issuedAt = e.proc.Now()
+	}
+
 	target := tm.Owner
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	ts.batched++
 	ts.willConfirm++ // the batch always notifies
 	ring := e.rings[target]
 	if ring == nil {
@@ -156,6 +166,9 @@ func (e *Engine) appendBatch(accOp AccOp, scale float64, origin memsim.Region, o
 
 	e.OpsIssued.Inc()
 	e.BatchedOps.Inc()
+	if t := e.tr(); t != nil {
+		t.RecordOpf(e.proc.Now(), "enqueue", target, req.id, "bytes=%d rc=%v ring=%d", len(wire), bop.rc, target)
+	}
 	if !bop.rc {
 		// Local completion: the data has been packed out of the origin
 		// buffer already.
@@ -191,8 +204,11 @@ func (e *Engine) flushTarget(world int) {
 		ts.orderSeq++
 		seq = ts.orderSeq
 	}
-	e.batchID++
-	id := e.batchID
+	// Aggregate ids come from the request sequence, not a separate
+	// counter: trace spans key on (origin, id), and a batch envelope must
+	// not share an id with any member request.
+	e.reqSeq++
+	id := e.reqSeq
 	e.mu.Unlock()
 
 	buf := batchBufPool.Get().([]byte)[:0]
@@ -249,7 +265,15 @@ func (e *Engine) flushTarget(world int) {
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
 	e.Batches.Inc()
-	e.tr().Recordf(m.SentAt, "batch", world, "ops=%d bytes=%d seq=%d", len(ops), len(m.Payload), seq)
+	if t := e.tr(); t != nil {
+		// One "pack" event per member links the member's request id to the
+		// aggregate id, so a span can be followed from enqueue through the
+		// shared wire message to its per-member apply.
+		for i := range ops {
+			t.RecordOpf(m.SentAt, "pack", world, ops[i].req.id, "batch=%d member=%d", id, i)
+		}
+		t.RecordOpf(m.SentAt, "batch", world, id, "ops=%d bytes=%d seq=%d arrive=%d", len(ops), len(m.Payload), seq, m.ArriveAt)
+	}
 }
 
 // Flush transmits every pending issue ring of this rank (the request-batch
@@ -481,7 +505,9 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 						e.notifyDeposit(m.Src, op.handle, op.disp, datatype.ExtentOf(op.tcount, op.tdt))
 					}
 				}
-				e.tr().Recordf(end, "apply", m.Src, "kind=%d bytes=%d (batched)", m.Kind, len(op.wire))
+				if t := e.tr(); t != nil {
+					t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "batched member=%d bytes=%d", i, len(op.wire))
+				}
 				track.opDone(e.noteApplied(m.Src, end), end)
 			})
 		}
@@ -493,6 +519,9 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 // batch it answers.
 func (e *Engine) handleNotify(m *simnet.Message, at vtime.Time) {
 	e.Notifies.Inc()
+	if t := e.tr(); t != nil {
+		t.RecordOpf(at, "notify", m.Src, m.Hdr[hReq], "count=%d", m.Hdr[hCount])
+	}
 	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
 	if id := m.Hdr[hReq]; id != 0 {
 		e.cmplMu.Lock()

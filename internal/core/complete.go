@@ -30,6 +30,8 @@ import (
 // counted in FastPaths.
 func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 	e.Progress()
+	e.CompleteCalls.Inc()
+	start := e.proc.Now()
 	targets, err := e.resolveTargets(comm, trank)
 	if err != nil {
 		return err
@@ -49,6 +51,9 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 			if at, ok := e.tryConfirmed(world, sent); ok {
 				e.FastPaths.Inc()
 				e.proc.NIC().CPU().AdvanceTo(at)
+				if t := e.tr(); t != nil {
+					t.RecordOpf(at, "complete", world, 0, "fastpath sent=%d", sent)
+				}
 				continue
 			}
 			if will >= sent {
@@ -57,16 +62,26 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 				at := e.waitConfirmed(world, sent)
 				e.FastPaths.Inc()
 				e.proc.NIC().CPU().AdvanceTo(at)
+				if t := e.tr(); t != nil {
+					t.RecordOpf(at, "complete", world, 0, "notified sent=%d", sent)
+				}
 				continue
 			}
 		}
+		e.ProbeFallbacks.Inc()
 		r, err := e.sendProbe(world, sent)
 		if err != nil {
 			return err
 		}
+		if t := e.tr(); t != nil {
+			t.RecordOpf(e.proc.Now(), "complete", world, r.id, "probe sent=%d will=%d", sent, will)
+		}
 		reqs = append(reqs, r)
 	}
 	WaitAll(reqs...)
+	if lh := e.lat.Load(); lh != nil {
+		lh.complete.Observe(int64(e.proc.Now() - start))
+	}
 	return nil
 }
 
@@ -83,6 +98,7 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 // barrier publishes global completion — O(n log n) messages total.
 func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 	e.Progress()
+	e.CompleteCalls.Inc()
 	e.Flush()
 	n := comm.Size()
 	me := comm.Rank()
@@ -217,6 +233,9 @@ func (e *Engine) maybeFence(comm *runtime.Comm, world int) error {
 		return nil
 	}
 	e.FenceStalls.Inc()
+	if t := e.tr(); t != nil {
+		t.RecordOpf(e.proc.Now(), "fence", world, 0, "sent=%d will=%d", sent, will)
+	}
 	if !e.opts.ProbeCompletion {
 		if at, ok := e.tryConfirmed(world, sent); ok {
 			e.proc.NIC().CPU().AdvanceTo(at)

@@ -3,6 +3,7 @@ package core
 import (
 	gort "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpi3rma/internal/portals"
@@ -10,6 +11,7 @@ import (
 	"mpi3rma/internal/serializer"
 	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/stats"
+	"mpi3rma/internal/telemetry"
 	"mpi3rma/internal/trace"
 	"mpi3rma/internal/vtime"
 )
@@ -116,6 +118,8 @@ func (o Options) withDefaults() Options {
 // originTarget is origin-side per-target bookkeeping.
 type originTarget struct {
 	sent         int64  // ops issued to this target (puts, accumulates, gets, RMWs, AMs)
+	batched      int64  // of sent: ops that rode an aggregated message
+	singleton    int64  // of sent: ops that paid their own wire message
 	willConfirm  int64  // ops whose application will report a delivery counter (notify, remote-complete, batch, reply-carrying ops)
 	orderSeq     uint64 // ordered-stream sequence for AttrOrdering on unordered networks
 	fencePending bool   // an Order() is pending; next op must stall for drain
@@ -149,7 +153,6 @@ type Engine struct {
 	targets map[int]*originTarget
 	comms   map[uint64]Attr // per-communicator default attributes
 	rings   map[int]*issueRing
-	batchID uint64
 
 	// Origin-side confirmation counters, guarded by cmplMu: confirmed[t]
 	// is the highest cumulative applied-operation count target t has
@@ -191,20 +194,30 @@ type Engine struct {
 	depositHook func(src int, handle uint64, disp, length int)
 
 	// tracer, if set, records protocol events (issue/apply/probe/...);
-	// a nil ring discards. Swapped atomically under hookMu.
-	tracer *trace.Ring
+	// a nil ring discards. Held in an atomic pointer so the per-operation
+	// tr() check is one load, not a mutex, on the hot path.
+	tracer atomic.Pointer[trace.Ring]
+
+	// tel is the metrics registry installed by EnableTelemetry (nil until
+	// then); lat caches the registry's latency histograms so the request
+	// completion path does one atomic load, not a registry lookup.
+	tel atomic.Pointer[telemetry.Registry]
+	lat atomic.Pointer[latencyHists]
 
 	// Counters.
-	OpsIssued   stats.Counter
-	OpsApplied  stats.Counter
-	AcksSent    stats.Counter
-	Probes      stats.Counter
-	HeldOps     stats.Counter // ordered ops buffered due to out-of-order arrival
-	FenceStalls stats.Counter // Order()-induced stalls before an op issue
-	Batches     stats.Counter // aggregated messages sent
-	BatchedOps  stats.Counter // operations that rode an aggregated message
-	Notifies    stats.Counter // delivery-counter notifications received
-	FastPaths   stats.Counter // Complete calls answered from counters, no probe
+	OpsIssued      stats.Counter
+	OpsApplied     stats.Counter
+	AcksSent       stats.Counter
+	Probes         stats.Counter
+	HeldOps        stats.Counter // ordered ops buffered due to out-of-order arrival
+	FenceStalls    stats.Counter // Order()-induced stalls before an op issue
+	Batches        stats.Counter // aggregated messages sent
+	BatchedOps     stats.Counter // operations that rode an aggregated message
+	SingletonOps   stats.Counter // operations that paid their own wire message
+	Notifies       stats.Counter // delivery-counter notifications received
+	FastPaths      stats.Counter // Complete calls answered from counters, no probe
+	CompleteCalls  stats.Counter // Complete invocations
+	ProbeFallbacks stats.Counter // Complete targets that needed the probe round-trip
 }
 
 // gosched yields to let agent and serializer goroutines run between
@@ -396,17 +409,19 @@ func (e *Engine) waitAppliedFrom(origins []int, expected int64) vtime.Time {
 
 // SetTracer installs (or clears, with nil) a protocol event recorder.
 func (e *Engine) SetTracer(r *trace.Ring) {
-	e.hookMu.Lock()
-	e.tracer = r
-	e.hookMu.Unlock()
+	e.tracer.Store(r)
 }
 
-// tr returns the current tracer (possibly nil — trace.Ring methods accept
-// a nil receiver).
+// Tracer returns the installed protocol event recorder, if any.
+func (e *Engine) Tracer() *trace.Ring {
+	return e.tracer.Load()
+}
+
+// tr returns the current tracer (possibly nil). Hot paths must check for
+// nil and skip the whole recording — formatting arguments for a discarded
+// event still allocates.
 func (e *Engine) tr() *trace.Ring {
-	e.hookMu.Lock()
-	defer e.hookMu.Unlock()
-	return e.tracer
+	return e.tracer.Load()
 }
 
 // SetDepositHook installs (or clears, with nil) the deposit observer.

@@ -127,7 +127,9 @@ func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vti
 	if m.Flags&flagUnlockAfter != 0 {
 		e.releaseLockLocal(m.Src, end)
 	}
-	e.tr().Recordf(end, "apply", m.Src, "kind=%d bytes=%d", m.Kind, len(m.Payload))
+	if t := e.tr(); t != nil {
+		t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "kind=%d bytes=%d", m.Kind, len(m.Payload))
+	}
 	return count
 }
 
@@ -217,6 +219,9 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 // handleGetReply completes a pending get at the origin.
 func (e *Engine) handleGetReply(m *simnet.Message, at vtime.Time) {
 	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(at, "reply", m.Src, m.Hdr[hReq], "bytes=%d count=%d", len(m.Payload), m.Hdr[hCount])
+	}
 	req := e.lookupRequest(m.Hdr[hReq])
 	if req == nil {
 		return
@@ -240,6 +245,9 @@ func (e *Engine) handleGetReply(m *simnet.Message, at vtime.Time) {
 // handleAck completes a remote-completion request at the origin.
 func (e *Engine) handleAck(m *simnet.Message, at vtime.Time) {
 	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(at, "ack", m.Src, m.Hdr[hReq], "count=%d", m.Hdr[hCount])
+	}
 	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
 		req.complete(at, nil)
 	}
@@ -249,7 +257,9 @@ func (e *Engine) handleAck(m *simnet.Message, at vtime.Time) {
 // "have you applied my first N operations yet?".
 func (e *Engine) handleProbe(m *simnet.Message, at vtime.Time) {
 	e.Probes.Inc()
-	e.tr().Recordf(at, "probe", m.Src, "threshold=%d", m.Hdr[hHandle])
+	if t := e.tr(); t != nil {
+		t.RecordOpf(at, "probe", m.Src, m.Hdr[hReq], "threshold=%d", m.Hdr[hHandle])
+	}
 	threshold := int64(m.Hdr[hHandle])
 	w := probeWaiter{origin: m.Src, threshold: threshold, reqID: m.Hdr[hReq]}
 	e.tgtMu.Lock()
@@ -267,6 +277,9 @@ func (e *Engine) handleProbe(m *simnet.Message, at vtime.Time) {
 // handleProbeAck completes a Complete/Order stall at the origin.
 func (e *Engine) handleProbeAck(m *simnet.Message, at vtime.Time) {
 	e.noteConfirmed(m.Src, int64(m.Hdr[hCount]), at)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(at, "probe-ack", m.Src, m.Hdr[hReq], "count=%d", m.Hdr[hCount])
+	}
 	if req := e.lookupRequest(m.Hdr[hReq]); req != nil {
 		req.complete(at, nil)
 	}

@@ -26,7 +26,18 @@ type Request struct {
 	// goroutine before the request is completed; an error fails the
 	// request instead of completing it.
 	onData func(wire []byte, at vtime.Time) error
+
+	// latKind/issuedAt route the request's completion into a latency.*
+	// histogram. Populated on the issue path only while telemetry is
+	// enabled, and before the request escapes the issuing goroutine, so
+	// finish may read them without the lock.
+	latKind  uint8
+	issuedAt vtime.Time
 }
+
+// ID returns the request's engine-local id — the operation id its trace
+// events carry, for correlating spans across ranks.
+func (r *Request) ID() uint64 { return r.id }
 
 func (e *Engine) newRequest() *Request {
 	r := &Request{e: e}
@@ -84,6 +95,11 @@ func (r *Request) finish(at vtime.Time, val []byte, err error) {
 	r.e.mu.Lock()
 	delete(r.e.reqs, r.id)
 	r.e.mu.Unlock()
+	if r.latKind != latNone {
+		if lh := r.e.lat.Load(); lh != nil {
+			lh.byKind(r.latKind).Observe(int64(at - r.issuedAt))
+		}
+	}
 }
 
 // Wait blocks until the operation completes, advancing the rank's virtual

@@ -57,6 +57,7 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	ts.singleton++
 	ts.willConfirm++ // the old-value reply carries the delivery counter
 	if attrs&AttrOrdering != 0 && !e.proc.NIC().Endpoint().Ordered() {
 		ts.orderSeq++
@@ -64,8 +65,13 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	}
 	e.mu.Unlock()
 	e.OpsIssued.Inc()
+	e.SingletonOps.Inc()
 
 	req := e.newRequest()
+	if e.lat.Load() != nil {
+		req.latKind = latRMW
+		req.issuedAt = e.proc.Now()
+	}
 	m := newMsg(target, kRMW)
 	m.Hdr[hHandle] = tm.Handle
 	m.Hdr[hDisp] = uint64(tdisp)
@@ -84,6 +90,9 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 		return 0, err
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(m.SentAt, "issue", target, req.id, "rmw subop=%d arrive=%d", subop, m.ArriveAt)
+	}
 	req.Wait()
 	val := req.Value()
 	if len(val) != 8 {

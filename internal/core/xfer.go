@@ -172,6 +172,7 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	e.mu.Lock()
 	ts := e.targetLocked(target)
 	ts.sent++
+	ts.singleton++
 	if op == OpGet || attrs&(AttrRemoteComplete|AttrNotify) != 0 {
 		// The operation's reply, ack, or notification reports a delivery
 		// counter; Complete may wait on counters instead of probing.
@@ -183,8 +184,13 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	}
 	e.mu.Unlock()
 	e.OpsIssued.Inc()
+	e.SingletonOps.Inc()
 
 	req := e.newRequest()
+	if e.lat.Load() != nil {
+		req.latKind = latKindOf(op)
+		req.issuedAt = e.proc.Now()
+	}
 
 	var m *simnet.Message
 	switch op {
@@ -238,7 +244,9 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 		return nil, err
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
-	e.tr().Recordf(m.SentAt, "issue", target, "%v %s disp=%d bytes=%d attrs=%v", op, tdt.Name(), tdisp, datatype.PackedSize(tcount, tdt), attrs)
+	if t := e.tr(); t != nil {
+		t.RecordOpf(m.SentAt, "issue", target, req.id, "%v %s disp=%d bytes=%d attrs=%v arrive=%d", op, tdt.Name(), tdisp, datatype.PackedSize(tcount, tdt), attrs, m.ArriveAt)
+	}
 
 	// Local completion: puts and accumulates without RemoteComplete are
 	// done once the data has left the origin. Gets complete on reply.

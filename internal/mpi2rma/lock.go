@@ -45,6 +45,7 @@ func (w *Win) Lock(typ LockType, trank int) error {
 	w.mu.Lock()
 	w.epoch.locked[trank] = true
 	w.mu.Unlock()
+	w.rma.WinLocks.Inc()
 	return nil
 }
 

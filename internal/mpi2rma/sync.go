@@ -30,6 +30,7 @@ func (w *Win) Fence() error {
 		return err
 	}
 	w.resetOverlapEpoch()
+	w.rma.Fences.Inc()
 	w.mu.Lock()
 	w.epoch.fenceOpen = true
 	w.mu.Unlock()
@@ -88,6 +89,7 @@ func (w *Win) Start(group []int) error {
 	}
 	at := w.noticeAt
 	w.mu.Unlock()
+	w.rma.PSCWEpochs.Inc()
 	w.rma.proc.NIC().CPU().AdvanceTo(at)
 	return nil
 }

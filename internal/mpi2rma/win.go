@@ -28,6 +28,7 @@ import (
 	"mpi3rma/internal/runtime"
 	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/stats"
+	"mpi3rma/internal/telemetry"
 	"mpi3rma/internal/vtime"
 )
 
@@ -90,6 +91,12 @@ type RMA struct {
 
 	// OverlapViolations counts detected concurrent overlapping stores.
 	OverlapViolations stats.Counter
+	// Fences counts completed Win.Fence synchronizations.
+	Fences stats.Counter
+	// PSCWEpochs counts access epochs opened with Win.Start.
+	PSCWEpochs stats.Counter
+	// WinLocks counts passive-target locks granted to this rank's origins.
+	WinLocks stats.Counter
 }
 
 // extKey is the Proc extension slot.
@@ -116,8 +123,24 @@ func Attach(p *runtime.Proc, opts Options) *RMA {
 		if opts.DetectOverlap {
 			r.eng.SetDepositHook(r.observeDeposit)
 		}
+		if reg := r.eng.Metrics(); reg != nil {
+			r.RegisterMetrics(reg)
+		}
 		return r
 	}).(*RMA)
+}
+
+// RegisterMetrics registers the MPI-2 layer's counters on a metrics
+// registry under mpi2.* names. Attach calls it automatically when the
+// underlying engine already has telemetry enabled.
+func (r *RMA) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Register("mpi2.fences", &r.Fences)
+	reg.Register("mpi2.pscw_epochs", &r.PSCWEpochs)
+	reg.Register("mpi2.win_locks", &r.WinLocks)
+	reg.Register("mpi2.overlap_violations", &r.OverlapViolations)
 }
 
 // Engine exposes the underlying strawman engine.

@@ -67,9 +67,9 @@ type NIC struct {
 	// registered: rank startup is not synchronized, so a fast origin can
 	// have traffic in flight before the target's upper layers attach.
 	// RegisterHandler drains a kind's backlog in arrival order.
-	pending  map[uint8][]*simnet.Message
-	mds      []*MD
-	table    map[int]*MD // portal index -> MD exposed for remote access
+	pending map[uint8][]*simnet.Message
+	mds     []*MD
+	table   map[int]*MD // portal index -> MD exposed for remote access
 
 	quit chan struct{}
 	done chan struct{}
@@ -79,6 +79,13 @@ type NIC struct {
 	// BadReq counts protocol violations observed by this rank (unknown
 	// portal index, out-of-bounds access, disallowed operation).
 	BadReq stats.Counter
+	// Delivered and DeliveredBytes count messages (and their payload bytes)
+	// this NIC handed to a handler.
+	Delivered      stats.Counter
+	DeliveredBytes stats.Counter
+	// Parked counts messages that arrived before their kind's handler was
+	// registered and had to wait in the pending backlog.
+	Parked stats.Counter
 }
 
 // NewNIC binds a NIC to an endpoint and a rank memory and starts its agent.
@@ -185,6 +192,7 @@ func (n *NIC) dispatch(m *simnet.Message) {
 	if h == nil || len(n.pending[m.Kind]) > 0 {
 		n.pending[m.Kind] = append(n.pending[m.Kind], m)
 		n.mu.Unlock()
+		n.Parked.Inc()
 		return
 	}
 	n.mu.Unlock()
@@ -196,5 +204,7 @@ func (n *NIC) dispatch(m *simnet.Message) {
 // funnel the Figure 2 workload contends on — then runs the handler.
 func (n *NIC) deliver(h Handler, m *simnet.Message) {
 	at := n.ep.DeliverLane().Complete(m.ArriveAt, n.ep.Cost().Deliver(len(m.Payload)))
+	n.Delivered.Inc()
+	n.DeliveredBytes.Add(int64(len(m.Payload)))
 	h(m, at)
 }

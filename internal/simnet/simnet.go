@@ -279,6 +279,10 @@ func (ep *Endpoint) Ordered() bool { return ep.cfg.Ordered }
 // Ranks returns the number of endpoints in the network.
 func (ep *Endpoint) Ranks() int { return ep.cfg.Ranks }
 
+// Network returns the network this endpoint belongs to, giving telemetry
+// access to the world-global traffic counters.
+func (ep *Endpoint) Network() *Network { return ep.net }
+
 // InjectClock exposes the endpoint's origin-side virtual clock (used by
 // tests and the harness to read per-rank injection time).
 func (ep *Endpoint) InjectClock() *vtime.Clock { return &ep.inject }

@@ -45,16 +45,22 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Sample accumulates observations and reports simple summary statistics.
-// It is safe for concurrent use.
+// It is safe for concurrent use. Quantile queries sort the observations in
+// place once and reuse the ordering until the next Observe, so repeated
+// queries (p50, p90, p99, ...) cost one sort, not one copy-and-sort each.
+// For hot paths that cannot afford the mutex or the O(n) storage, use
+// Histogram instead.
 type Sample struct {
-	mu   sync.Mutex
-	vals []float64
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
 }
 
 // Observe records one observation.
 func (s *Sample) Observe(v float64) {
 	s.mu.Lock()
 	s.vals = append(s.vals, v)
+	s.sorted = false
 	s.mu.Unlock()
 }
 
@@ -113,16 +119,18 @@ func (s *Sample) Quantile(q float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(s.vals)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(s.vals) {
+		idx = len(s.vals) - 1
 	}
-	return sorted[idx]
+	return s.vals[idx]
 }
 
 // Reset discards all observations.

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/trace"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Register("x", &stats.Counter{})
+	r.Counter("x").Inc() // discard counter, must not panic
+	r.Gauge("g").Set(3)
+	if h := r.Histogram("h"); h != nil {
+		t.Fatal("nil registry should hand out nil histograms")
+	}
+	r.Histogram("h").Observe(5) // nil histogram no-op
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+}
+
+func TestRegistryAliasesLiveCounters(t *testing.T) {
+	var owned stats.Counter
+	r := NewRegistry()
+	r.Register("ops.issued", &owned)
+	owned.Add(41)
+	r.Counter("ops.issued").Inc() // same cell through the registry
+	if got := r.Snapshot().Counters["ops.issued"]; got != 42 {
+		t.Fatalf("aliased counter = %d, want 42", got)
+	}
+	if owned.Value() != 42 {
+		t.Fatalf("owner sees %d, want 42", owned.Value())
+	}
+}
+
+func TestSnapshotMergeAndExport(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("batch.flushes").Add(3)
+	a.Histogram("latency.put").Observe(100)
+	b := NewRegistry()
+	b.Counter("batch.flushes").Add(4)
+	b.Histogram("latency.put").Observe(1000)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["batch.flushes"] != 7 {
+		t.Fatalf("merged counter %d", s.Counters["batch.flushes"])
+	}
+	if h := s.Histograms["latency.put"]; h.Count != 2 || h.Max != 1000 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "batch.flushes") || !strings.Contains(text.String(), "latency.put") {
+		t.Fatalf("text export:\n%s", text.String())
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if back.Counters["batch.flushes"] != 7 {
+		t.Fatalf("round-tripped counter %d", back.Counters["batch.flushes"])
+	}
+}
+
+func TestSpansAcrossRanks(t *testing.T) {
+	// Rank 1 issues op 9 to rank 0; rank 0 applies it; rank 1 sees the ack.
+	// Rank 0 independently issues its own op 9 to rank 2 — same id, other
+	// origin — which must land in a distinct span.
+	per := map[int][]trace.Event{
+		1: {
+			{At: 10, Cat: "issue", Peer: 0, ID: 9},
+			{At: 50, Cat: "ack", Peer: 0, ID: 9},
+			{At: 55, Cat: "complete", Peer: 0, ID: 9},
+		},
+		0: {
+			{At: 30, Cat: "apply", Peer: 1, ID: 9},
+			{At: 12, Cat: "issue", Peer: 2, ID: 9},
+		},
+		2: {
+			{At: 40, Cat: "apply", Peer: 0, ID: 9},
+		},
+	}
+	events := Timeline(per)
+	if len(events) != 6 {
+		t.Fatalf("timeline has %d events", len(events))
+	}
+	spans := Spans(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	var mine *Span
+	for i := range spans {
+		if spans[i].Origin == 1 {
+			mine = &spans[i]
+		}
+	}
+	if mine == nil {
+		t.Fatalf("no span for origin 1: %+v", spans)
+	}
+	if mine.Begin != 10 || mine.End != 55 {
+		t.Fatalf("span bounds [%d,%d]", mine.Begin, mine.End)
+	}
+	want := []string{"issue", "apply", "ack", "complete"}
+	if len(mine.Path) != len(want) {
+		t.Fatalf("path %v, want %v", mine.Path, want)
+	}
+	for i, cat := range want {
+		if mine.Path[i] != cat {
+			t.Fatalf("path %v, want %v", mine.Path, want)
+		}
+	}
+	if mine.Ranks[1] != 0 {
+		t.Fatalf("apply should be recorded by rank 0: %v", mine.Ranks)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(dump.Spans) != 2 || len(dump.Events) != 6 {
+		t.Fatalf("round-tripped dump: %d spans, %d events", len(dump.Spans), len(dump.Events))
+	}
+}

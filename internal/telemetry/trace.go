@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"mpi3rma/internal/trace"
+)
+
+// TraceEvent is one protocol trace event in exporter form: the recording
+// rank is explicit, virtual time is a plain integer (nanoseconds).
+type TraceEvent struct {
+	At     int64  `json:"at"`
+	Rank   int    `json:"rank"`
+	Cat    string `json:"cat"`
+	Peer   int    `json:"peer"`
+	ID     uint64 `json:"id,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Timeline merges per-rank trace rings' snapshots into one chronological
+// event list.
+func Timeline(perRank map[int][]trace.Event) []TraceEvent {
+	merged := trace.MergeRanks(perRank)
+	out := make([]TraceEvent, len(merged))
+	for i, e := range merged {
+		out[i] = TraceEvent{
+			At:     int64(e.At),
+			Rank:   e.Rank,
+			Cat:    e.Cat,
+			Peer:   e.Peer,
+			ID:     e.ID,
+			Detail: e.Detail,
+		}
+	}
+	return out
+}
+
+// originSideCats classifies event categories recorded at the operation's
+// origin rank; everything else ("apply", "probe") is recorded at the
+// target with Peer naming the origin. The classification matters because
+// request ids are allocated per origin engine: a span's identity is
+// (origin rank, id), and each event must contribute its view of the origin.
+var originSideCats = map[string]bool{
+	"issue":     true,
+	"enqueue":   true,
+	"pack":      true,
+	"batch":     true,
+	"ack":       true,
+	"reply":     true,
+	"notify":    true,
+	"probe-ack": true,
+	"complete":  true,
+	"fence":     true,
+}
+
+// originOf returns the origin rank of an event: the recording rank for
+// origin-side categories, the peer for target-side ones (falling back to
+// the recording rank when no peer was recorded).
+func originOf(e TraceEvent) int {
+	if originSideCats[e.Cat] || e.Peer < 0 {
+		return e.Rank
+	}
+	return e.Peer
+}
+
+// Span is the reconstructed lifetime of one operation (or batch
+// envelope): every event across all ranks that carried its id, keyed by
+// the origin rank that allocated the id.
+type Span struct {
+	Origin int    `json:"origin"`
+	ID     uint64 `json:"id"`
+	Begin  int64  `json:"begin"`
+	End    int64  `json:"end"`
+	// Path lists the event categories in chronological order — e.g.
+	// ["issue", "apply", "ack"] for a remote-complete put, or
+	// ["enqueue", "pack", "batch", "apply", "notify"] for a batched one.
+	Path []string `json:"path"`
+	// Ranks lists the recording rank of each Path entry.
+	Ranks []int `json:"ranks"`
+}
+
+// Spans groups correlated events (id != 0) into per-operation spans,
+// ordered by begin time. events must be chronological (Timeline output).
+func Spans(events []TraceEvent) []Span {
+	type key struct {
+		origin int
+		id     uint64
+	}
+	byOp := make(map[key]*Span)
+	var order []key
+	for _, e := range events {
+		if e.ID == 0 {
+			continue
+		}
+		k := key{originOf(e), e.ID}
+		sp := byOp[k]
+		if sp == nil {
+			sp = &Span{Origin: k.origin, ID: k.id, Begin: e.At, End: e.At}
+			byOp[k] = sp
+			order = append(order, k)
+		}
+		if e.At < sp.Begin {
+			sp.Begin = e.At
+		}
+		if e.At > sp.End {
+			sp.End = e.At
+		}
+		sp.Path = append(sp.Path, e.Cat)
+		sp.Ranks = append(sp.Ranks, e.Rank)
+	}
+	out := make([]Span, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byOp[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+// TraceDump is the JSON trace sidecar: the full merged timeline plus the
+// spans reconstructed from it.
+type TraceDump struct {
+	Events []TraceEvent `json:"events"`
+	Spans  []Span       `json:"spans"`
+}
+
+// WriteTraceJSON emits the timeline and its spans as indented JSON.
+func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TraceDump{Events: events, Spans: Spans(events)})
+}

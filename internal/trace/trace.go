@@ -4,6 +4,11 @@
 // events into a bounded ring; tests and tools snapshot the ring to check
 // or display protocol timelines in virtual time.
 //
+// Events carry an optional operation id (the origin's request id, or the
+// aggregate id for batch envelopes) so one put can be followed
+// issue→enqueue→flush→wire→apply→ack→complete across ranks: merge the
+// per-rank rings with MergeRanks and group by (origin, id).
+//
 // Recording is lock-protected and allocation-light; a nil *Ring is a
 // valid no-op recorder so call sites need no nil checks.
 package trace
@@ -17,24 +22,35 @@ import (
 	"mpi3rma/internal/vtime"
 )
 
+// NoPeer is the Peer value of an event that involves no other rank.
+const NoPeer = -1
+
 // Event is one recorded protocol step.
 type Event struct {
 	// At is the virtual time of the event.
 	At vtime.Time
 	// Cat is a short category ("issue", "apply", "ack", "probe", ...).
 	Cat string
-	// Peer is the other rank involved (-1 if none).
+	// Peer is the other rank involved (NoPeer if none).
 	Peer int
+	// ID correlates the events of one operation across layers and ranks:
+	// the origin request id for single operations, the aggregate id for
+	// batch envelopes. 0 means uncorrelated.
+	ID uint64
 	// Detail is a short free-form description.
 	Detail string
 }
 
 // String renders the event for timeline dumps.
 func (e Event) String() string {
-	if e.Peer >= 0 {
-		return fmt.Sprintf("%10d %-8s peer=%-3d %s", e.At, e.Cat, e.Peer, e.Detail)
+	id := ""
+	if e.ID != 0 {
+		id = fmt.Sprintf(" id=%d", e.ID)
 	}
-	return fmt.Sprintf("%10d %-8s          %s", e.At, e.Cat, e.Detail)
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%10d %-8s peer=%-3d%s %s", e.At, e.Cat, e.Peer, id, e.Detail)
+	}
+	return fmt.Sprintf("%10d %-8s         %s %s", e.At, e.Cat, id, e.Detail)
 }
 
 // Ring is a bounded event recorder. The zero value is unusable; use New.
@@ -62,16 +78,26 @@ func New(capacity int) *Ring {
 	return &Ring{events: make([]Event, capacity)}
 }
 
-// Record appends an event; on a nil ring it is a no-op.
+// Record appends an uncorrelated event; on a nil ring it is a no-op.
+// Negative peers normalize to NoPeer.
 func (r *Ring) Record(at vtime.Time, cat string, peer int, detail string) {
+	r.RecordOp(at, cat, peer, 0, detail)
+}
+
+// RecordOp appends an event correlated to operation id (0 = none); on a
+// nil ring it is a no-op. Negative peers normalize to NoPeer.
+func (r *Ring) RecordOp(at vtime.Time, cat string, peer int, id uint64, detail string) {
 	if r == nil {
 		return
+	}
+	if peer < 0 {
+		peer = NoPeer
 	}
 	r.mu.Lock()
 	if r.filled {
 		r.dropped++
 	}
-	r.events[r.next] = Event{At: at, Cat: cat, Peer: peer, Detail: detail}
+	r.events[r.next] = Event{At: at, Cat: cat, Peer: peer, ID: id, Detail: detail}
 	r.next++
 	if r.next == len(r.events) {
 		r.next = 0
@@ -85,21 +111,33 @@ func (r *Ring) Recordf(at vtime.Time, cat string, peer int, format string, args 
 	if r == nil {
 		return
 	}
-	r.Record(at, cat, peer, fmt.Sprintf(format, args...))
+	r.RecordOp(at, cat, peer, 0, fmt.Sprintf(format, args...))
 }
 
-// Snapshot returns the recorded events in recording order (oldest first).
+// RecordOpf is RecordOp with a formatted detail.
+func (r *Ring) RecordOpf(at vtime.Time, cat string, peer int, id uint64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.RecordOp(at, cat, peer, id, fmt.Sprintf(format, args...))
+}
+
+// Snapshot returns the recorded events in stable chronological order:
+// sorted by virtual time, with recording order breaking ties. Events
+// recorded after the ring wrapped would otherwise interleave with the
+// survivors of earlier laps, so recording order alone is not a timeline.
 func (r *Ring) Snapshot() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Event
 	if r.filled {
 		out = append(out, r.events[r.next:]...)
 	}
 	out = append(out, r.events[:r.next]...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 
@@ -113,18 +151,16 @@ func (r *Ring) Dropped() int64 {
 	return r.dropped
 }
 
-// ByVirtualTime returns a snapshot sorted by virtual time (stable, so
-// equal timestamps keep recording order).
+// ByVirtualTime is Snapshot (kept for callers that predate Snapshot
+// returning chronological order).
 func (r *Ring) ByVirtualTime() []Event {
-	out := r.Snapshot()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	return r.Snapshot()
 }
 
-// Timeline renders the events sorted by virtual time, one per line.
+// Timeline renders the events in chronological order, one per line.
 func (r *Ring) Timeline() string {
 	var sb strings.Builder
-	for _, e := range r.ByVirtualTime() {
+	for _, e := range r.Snapshot() {
 		sb.WriteString(e.String())
 		sb.WriteByte('\n')
 	}
@@ -138,4 +174,31 @@ func (r *Ring) CountByCat() map[string]int {
 		counts[e.Cat]++
 	}
 	return counts
+}
+
+// RankEvent is an Event annotated with the rank that recorded it.
+type RankEvent struct {
+	Rank int
+	Event
+}
+
+// MergeRanks folds per-rank event lists into one chronological timeline
+// (stable: ties keep rank order, then each rank's recording order). This
+// is the cross-rank view span reconstruction consumes.
+func MergeRanks(perRank map[int][]Event) []RankEvent {
+	ranks := make([]int, 0, len(perRank))
+	total := 0
+	for r, evs := range perRank {
+		ranks = append(ranks, r)
+		total += len(evs)
+	}
+	sort.Ints(ranks)
+	out := make([]RankEvent, 0, total)
+	for _, r := range ranks {
+		for _, e := range perRank[r] {
+			out = append(out, RankEvent{Rank: r, Event: e})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
 }

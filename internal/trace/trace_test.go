@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mpi3rma/internal/vtime"
 )
 
 func TestNilRingIsSafe(t *testing.T) {
@@ -98,3 +100,71 @@ func TestConcurrentRecord(t *testing.T) {
 		t.Fatalf("recorded %d of 800", got)
 	}
 }
+
+func TestRecordOpAndNoPeerNormalization(t *testing.T) {
+	r := New(8)
+	r.RecordOp(10, "issue", 2, 7, "put")
+	r.Record(20, "flush", -3, "")
+	r.RecordOpf(30, "apply", 0, 7, "bytes=%d", 64)
+	evs := r.Snapshot()
+	if evs[0].ID != 7 || evs[2].ID != 7 || evs[1].ID != 0 {
+		t.Fatalf("ids %v", evs)
+	}
+	if evs[1].Peer != NoPeer {
+		t.Fatalf("negative peer should normalize to NoPeer, got %d", evs[1].Peer)
+	}
+	if s := evs[0].String(); !strings.Contains(s, "id=7") {
+		t.Fatalf("String misses id: %q", s)
+	}
+}
+
+func TestSnapshotChronologicalAcrossWrap(t *testing.T) {
+	// Record descending times so recording order disagrees with virtual
+	// time, and wrap the ring so the raw storage order is rotated too.
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Record(vtimeOf(100-i), "e", i, "")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("snapshot not chronological: %v", evs)
+		}
+	}
+	// The four newest recordings (peers 2..5) survive the wrap.
+	peers := map[int]bool{}
+	for _, e := range evs {
+		peers[e.Peer] = true
+	}
+	for p := 2; p <= 5; p++ {
+		if !peers[p] {
+			t.Fatalf("peer %d missing from %v", p, evs)
+		}
+	}
+}
+
+func TestMergeRanks(t *testing.T) {
+	per := map[int][]Event{
+		1: {{At: 10, Cat: "issue", Peer: 0, ID: 1}, {At: 40, Cat: "complete", Peer: 0, ID: 1}},
+		0: {{At: 25, Cat: "apply", Peer: 1, ID: 1}},
+	}
+	merged := MergeRanks(per)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	want := []string{"issue", "apply", "complete"}
+	for i, cat := range want {
+		if merged[i].Cat != cat {
+			t.Fatalf("merged[%d] = %v, want %s", i, merged[i], cat)
+		}
+	}
+	if merged[0].Rank != 1 || merged[1].Rank != 0 {
+		t.Fatalf("ranks wrong: %v", merged)
+	}
+}
+
+// vtimeOf keeps test call sites short.
+func vtimeOf(n int) (t vtime.Time) { return vtime.Time(n) }

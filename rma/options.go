@@ -14,10 +14,13 @@ import (
 type Option func(*config)
 
 type config struct {
-	attrs  core.Attr
-	opts   core.Options
-	tcount int
-	tdt    Type
+	attrs    core.Attr
+	opts     core.Options
+	tcount   int
+	tdt      Type
+	metrics  bool
+	tracing  bool
+	traceCap int
 }
 
 func buildConfig(opts []Option) config {
@@ -119,4 +122,22 @@ func WithAtomicity(m serializer.Mechanism) Option {
 // measurements; leave off in applications.
 func WithProbeCompletion() Option {
 	return func(c *config) { c.opts.ProbeCompletion = true }
+}
+
+// WithMetrics enables the telemetry registry at Open: every engine, NIC
+// and network counter becomes readable under its stable dotted name via
+// Session.Metrics(). Enabling metrics adds no work to transfer hot paths
+// (the registry aliases live counters); only latency histograms are
+// recorded in addition. Unlike other session options, metrics can be
+// enabled by any Open of the rank, not only the first.
+func WithMetrics() Option {
+	return func(c *config) { c.metrics = true }
+}
+
+// WithTracing installs a protocol event ring of the given capacity
+// (0 = trace.DefaultCapacity) at Open, feeding Session.DumpTimeline and
+// span reconstruction. Like WithMetrics it is honoured by any Open, but
+// an already-installed tracer is kept.
+func WithTracing(capacity int) Option {
+	return func(c *config) { c.tracing, c.traceCap = true, capacity }
 }

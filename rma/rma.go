@@ -28,10 +28,15 @@
 package rma
 
 import (
+	"fmt"
+	"io"
+
 	"mpi3rma/internal/core"
 	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/memsim"
 	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/telemetry"
+	"mpi3rma/internal/trace"
 )
 
 // Re-exported core types. TargetMem is the paper's target_mem object;
@@ -112,11 +117,18 @@ type Session struct {
 // honoured only by the rank's first Open.
 func Open(p *runtime.Proc, opts ...Option) *Session {
 	cfg := buildConfig(opts)
-	return &Session{
+	s := &Session{
 		eng:  core.Attach(p, cfg.engineOptions()),
 		proc: p,
 		comm: p.Comm(),
 	}
+	if cfg.metrics {
+		s.eng.EnableTelemetry(nil)
+	}
+	if cfg.tracing && s.eng.Tracer() == nil {
+		s.eng.SetTracer(trace.New(cfg.traceCap))
+	}
+	return s
 }
 
 // Proc returns the owning simulated process.
@@ -126,6 +138,32 @@ func (s *Session) Proc() *runtime.Proc { return s.proc }
 // facilities the façade does not wrap (active messages, tracing, derived
 // statistics).
 func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Metrics returns this rank's telemetry registry, enabling it on first
+// use (so callers need not have passed WithMetrics to Open). Counters in
+// the registry alias the engine's live counters; snapshot with
+// Metrics().Snapshot().
+func (s *Session) Metrics() *telemetry.Registry {
+	return s.eng.EnableTelemetry(nil)
+}
+
+// Tracer returns the session's protocol event ring, or nil when tracing
+// was never enabled (see WithTracing).
+func (s *Session) Tracer() *trace.Ring {
+	return s.eng.Tracer()
+}
+
+// DumpTimeline writes this rank's recorded protocol events to w in
+// chronological virtual-time order, one event per line. It errors if the
+// session has no tracer.
+func (s *Session) DumpTimeline(w io.Writer) error {
+	t := s.eng.Tracer()
+	if t == nil {
+		return fmt.Errorf("rma: session has no tracer (open with rma.WithTracing): %w", ErrBadHandle)
+	}
+	_, err := io.WriteString(w, t.Timeline())
+	return err
+}
 
 // Expose allocates size bytes and exposes them as a target_mem object.
 // Nothing collective happens: the owner alone creates the exposure
