@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke smoke-metrics bench
+.PHONY: check build vet lint test race smoke smoke-metrics bench
 
-# check is the PR gate: vet, build, full tests, the race detector over the
-# RMA engine and telemetry layer, a short E13 smoke bench proving batching
-# still pays, and a telemetry smoke run proving the JSON exporters parse.
-check: vet build test race smoke smoke-metrics
+# check is the PR gate: vet, the rmalint static analyzers, build, full
+# tests, the race detector over every package, a short E13 smoke bench
+# proving batching still pays, and a telemetry smoke run proving the JSON
+# exporters parse.
+check: lint build test race smoke smoke-metrics
 
 build:
 	$(GO) build ./...
@@ -13,11 +14,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs go vet plus the repo's own RMA static analyzers (lostrequest,
+# epochorder, attrmisuse, boundscheck); see cmd/rmalint.
+lint: vet
+	$(GO) run ./cmd/rmalint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race ./...
 
 smoke:
 	$(GO) test -run TestE13Smoke -count=1 ./internal/bench/

@@ -1,0 +1,118 @@
+// Command rmalint is the static analyzer suite for this repository's RMA
+// interfaces: it checks code using the rma facade, internal/core, and the
+// MPI-2 comparison layer for one-sided correctness mistakes the type
+// system cannot express.
+//
+// Usage:
+//
+//	rmalint [flags] [packages]
+//
+// Packages default to ./... (go-list patterns). Flags:
+//
+//	-only name[,name]  run only the named analyzers
+//	-list              print the analyzers and exit
+//	-json              emit findings as JSON instead of text
+//
+// Findings print as path:line:col: message [analyzer]; the exit status is
+// 1 when anything was reported. Suppress a finding at its use site with a
+// //rmalint:ignore <analyzer> comment on the same line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpi3rma/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n%s\n\n", a.Name, indent(a.Doc))
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rmalint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmalint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// The analyzers' own golden inputs (and any future fixtures) live in
+	// testdata trees; go-list wildcards already skip them, but explicit
+	// patterns should too.
+	kept := pkgs[:0]
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "/testdata/") {
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "rmalint: %s: %v (analyzing anyway)\n", p.Path, terr)
+		}
+		kept = append(kept, p)
+	}
+
+	diags := analysis.Run(kept, analyzers)
+	if *asJSON {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "rmalint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
+}

@@ -1,0 +1,162 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for the rmalint checks (cmd/rmalint). It deliberately mirrors the shape
+// of golang.org/x/tools/go/analysis — Analyzer, Pass, Reportf — but is
+// built on the standard library alone: packages load through `go list
+// -export` and the gc export-data importer (see load.go), so the linter
+// works in the hermetic build environments this repository targets.
+//
+// Diagnostics can be suppressed at the use site with a comment:
+//
+//	//rmalint:ignore lostrequest  reason...
+//
+// on the same line as the diagnostic or the line above it. Omitting the
+// analyzer name suppresses every analyzer on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppression comments
+	// (lower-case, no spaces).
+	Name string
+	// Doc is a one-paragraph description, shown by rmalint -list.
+	Doc string
+	// Run inspects pass's package and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress suppressions
+	diags    *[]Diagnostic
+}
+
+// Diagnostic is one finding, located by full position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless a suppression comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressions maps file/line to the set of analyzer names ignored there.
+// The empty name means "all analyzers".
+type suppressions map[string]map[int][]string
+
+func (s suppressions) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A comment suppresses its own line and the line below it.
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment of the package's files for
+// rmalint:ignore markers.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//rmalint:ignore")
+				if !ok {
+					continue
+				}
+				name := ""
+				if fields := strings.Fields(text); len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return s
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				suppress:  sup,
+				diags:     &diags,
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the four rmalint analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LostRequestAnalyzer,
+		EpochOrderAnalyzer,
+		AttrMisuseAnalyzer,
+		BoundsCheckAnalyzer,
+	}
+}

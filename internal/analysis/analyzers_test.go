@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// The golden packages live under testdata/src — excluded from ./...
+// wildcards (so rmalint never lints them) but loadable by explicit import
+// path, which is what RunGolden does.
+
+func TestLostRequest(t *testing.T) {
+	RunGolden(t, LostRequestAnalyzer, "mpi3rma/internal/analysis/testdata/src/lostrequest")
+}
+
+func TestEpochOrder(t *testing.T) {
+	RunGolden(t, EpochOrderAnalyzer, "mpi3rma/internal/analysis/testdata/src/epochorder")
+}
+
+func TestAttrMisuse(t *testing.T) {
+	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/attrmisuse")
+}
+
+func TestBoundsCheck(t *testing.T) {
+	RunGolden(t, BoundsCheckAnalyzer, "mpi3rma/internal/analysis/testdata/src/boundscheck")
+}
+
+// TestSuppressionParsing pins the //rmalint:ignore scope rules: same line
+// and the line below, per-analyzer when named, everything when bare.
+func TestSuppressionParsing(t *testing.T) {
+	s := suppressions{"f.go": {10: {"lostrequest"}, 20: {""}}}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{10, "lostrequest", true},
+		{11, "lostrequest", true}, // line below the comment
+		{12, "lostrequest", false},
+		{10, "boundscheck", false}, // named suppression is per-analyzer
+		{20, "boundscheck", true},  // bare ignore mutes everything
+		{21, "epochorder", true},
+	}
+	for _, c := range cases {
+		got := s.covers(token.Position{Filename: "f.go", Line: c.line}, c.analyzer)
+		if got != c.want {
+			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}

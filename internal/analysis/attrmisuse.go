@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AttrMisuseAnalyzer reports contradictory or no-op attribute/option
+// combinations on rma facade calls — options that type-check fine but are
+// silently ignored or redundant at runtime, usually a sign the author
+// expected a semantic the call does not have.
+var AttrMisuseAnalyzer = &Analyzer{
+	Name: "attrmisuse",
+	Doc: "finds rma option misuse: session-only options passed to transfer\n" +
+		"calls (silently ignored), duplicate options, WithNotify on PutNotify,\n" +
+		"attribute no-ops on RMW and Get calls, options WithStrictDebug already\n" +
+		"implies, and WithTargetLayout at Open.",
+	Run: runAttrMisuse,
+}
+
+// sessionOnly options configure the engine at Open; buildConfig reads them
+// into fields the transfer paths never look at.
+var sessionOnly = map[string]string{
+	"WithBatch":           "operation batching is configured at Open",
+	"WithBatchBytes":      "batch payload bounds are configured at Open",
+	"WithAtomicity":       "the atomicity mechanism is chosen at Open",
+	"WithProbeCompletion": "probe-forced completion is chosen at Open",
+	"WithMetrics":         "telemetry is enabled at Open",
+	"WithTracing":         "tracing is enabled at Open",
+	"WithChecker":         "the semantic checker is enabled at Open",
+}
+
+// optionTakers maps facade calls that accept options to their kind.
+var optionTakers = map[string]string{
+	rmaPath + ".Open":                   "open",
+	rmaPath + ".Session.Put":            "transfer",
+	rmaPath + ".Session.PutNotify":      "putnotify",
+	rmaPath + ".Session.Get":            "get",
+	rmaPath + ".Session.Accumulate":     "transfer",
+	rmaPath + ".Session.AccumulateAxpy": "transfer",
+	rmaPath + ".Session.FetchAdd":       "rmw",
+	rmaPath + ".Session.CompareSwap":    "rmw",
+}
+
+func runAttrMisuse(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			kind, ok := optionTakers[funcKey(fn)]
+			if !ok {
+				return true
+			}
+			checkOptions(pass, kind, fn.Name(), call)
+			return true
+		})
+	}
+}
+
+func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr) {
+	seen := map[string]bool{}
+	strict := false
+	for _, opt := range optionCalls(pass.TypesInfo, call.Args) {
+		name := callee(pass.TypesInfo, opt).Name()
+
+		if seen[name] {
+			pass.Reportf(opt.Pos(), "duplicate option %s in one call", name)
+		}
+		seen[name] = true
+
+		if kind != "open" {
+			if why, ok := sessionOnly[name]; ok {
+				pass.Reportf(opt.Pos(), "%s is ignored on %s: %s (pass it to rma.Open)", name, callName, why)
+				continue
+			}
+		}
+
+		switch kind {
+		case "open":
+			if name == "WithTargetLayout" {
+				pass.Reportf(opt.Pos(), "WithTargetLayout is meaningless at Open: the target layout belongs to an individual transfer call")
+			}
+		case "putnotify":
+			if name == "WithNotify" {
+				pass.Reportf(opt.Pos(), "WithNotify is redundant on PutNotify, which already carries the Notify attribute")
+			}
+		case "rmw":
+			switch name {
+			case "WithAtomic":
+				pass.Reportf(opt.Pos(), "WithAtomic is a no-op on %s: read-modify-write operations are always atomic", callName)
+			case "WithBlocking":
+				pass.Reportf(opt.Pos(), "WithBlocking is a no-op on %s: read-modify-write operations always block for the old value", callName)
+			case "WithRemoteComplete":
+				pass.Reportf(opt.Pos(), "WithRemoteComplete is a no-op on %s: the returned old value already proves remote application", callName)
+			case "WithNotify":
+				pass.Reportf(opt.Pos(), "WithNotify is a no-op on %s: the reply already feeds the completion counters", callName)
+			case "WithTargetLayout":
+				pass.Reportf(opt.Pos(), "WithTargetLayout is a no-op on %s: read-modify-write operations address a single 8-byte word", callName)
+			}
+		case "get":
+			switch name {
+			case "WithRemoteComplete":
+				pass.Reportf(opt.Pos(), "WithRemoteComplete is a no-op on Get: a get completes when the data lands at the origin")
+			case "WithNotify":
+				pass.Reportf(opt.Pos(), "WithNotify is a no-op on Get: the data reply already feeds the completion counters")
+			}
+		}
+
+		if name == "WithStrictDebug" {
+			strict = true
+		}
+	}
+	if strict {
+		for _, implied := range []string{"WithOrdering", "WithRemoteComplete", "WithAtomic"} {
+			if seen[implied] {
+				pass.Reportf(call.Pos(), "%s is redundant alongside WithStrictDebug, which already implies it", implied)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundsCheckAnalyzer reports transfers whose constant-foldable target
+// interval provably exceeds a constant-sized exposure — the runtime's
+// ErrBounds check, decided at analysis time for the cases where every
+// quantity is a compile-time constant.
+var BoundsCheckAnalyzer = &Analyzer{
+	Name: "boundscheck",
+	Doc: "finds constant-foldable out-of-bounds transfers: a target_mem\n" +
+		"obtained from Expose(const) accessed at a constant displacement and\n" +
+		"extent reaching past the exposure (including the 8-byte word of\n" +
+		"FetchAdd/CompareSwap), and negative displacements.",
+	Run: runBoundsCheck,
+}
+
+// exposureSizes tracks target_mem variables with compile-time-known sizes:
+// tm, _ := s.Expose(1024). The variable must be single-assignment — any
+// reassignment drops it from the map.
+func exposureSizes(pass *Pass, file *ast.File) map[types.Object]int64 {
+	sizes := map[types.Object]int64{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeKey(pass.TypesInfo, call) {
+		case rmaPath + ".Session.Expose", corePath + ".Engine.ExposeNew":
+		default:
+			return true
+		}
+		size, const_ := int64(0), false
+		if len(call.Args) == 1 {
+			size, const_ = intConst(pass.TypesInfo, call.Args[0])
+		}
+		if !const_ {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			sizes[obj] = size
+		}
+		return true
+	})
+
+	// Single-assignment discipline: a variable written anywhere else has an
+	// unknown size by the time it is used.
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if len(assign.Rhs) == 1 {
+				if call, ok := assign.Rhs[0].(*ast.CallExpr); ok && i == 0 {
+					switch calleeKey(pass.TypesInfo, call) {
+					case rmaPath + ".Session.Expose", corePath + ".Engine.ExposeNew":
+						continue // the defining assignment itself
+					}
+				}
+			}
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					delete(sizes, obj)
+				}
+			}
+		}
+		return true
+	})
+	return sizes
+}
+
+// accessShape describes where one call's target interval sits in its
+// argument list: extent = count(arg countIdx) * sizeof(dt at dtIdx), or a
+// fixed 8 bytes for RMWs (countIdx < 0).
+type accessShape struct {
+	tmIdx, dispIdx   int
+	countIdx, dtIdx  int
+	layoutOverridble bool // WithTargetLayout changes the target extent
+}
+
+var accessShapes = map[string]accessShape{
+	rmaPath + ".Session.Put":            {tmIdx: 3, dispIdx: 4, countIdx: 1, dtIdx: 2, layoutOverridble: true},
+	rmaPath + ".Session.PutNotify":      {tmIdx: 3, dispIdx: 4, countIdx: 1, dtIdx: 2, layoutOverridble: true},
+	rmaPath + ".Session.Get":            {tmIdx: 3, dispIdx: 4, countIdx: 1, dtIdx: 2, layoutOverridble: true},
+	rmaPath + ".Session.Accumulate":     {tmIdx: 4, dispIdx: 5, countIdx: 2, dtIdx: 3, layoutOverridble: true},
+	rmaPath + ".Session.AccumulateAxpy": {tmIdx: 4, dispIdx: 5, countIdx: 2, dtIdx: 3, layoutOverridble: true},
+	rmaPath + ".Session.FetchAdd":       {tmIdx: 0, dispIdx: 1, countIdx: -1},
+	rmaPath + ".Session.CompareSwap":    {tmIdx: 0, dispIdx: 1, countIdx: -1},
+	corePath + ".Engine.Put":            {tmIdx: 3, dispIdx: 4, countIdx: 5, dtIdx: 6},
+	corePath + ".Engine.Get":            {tmIdx: 3, dispIdx: 4, countIdx: 5, dtIdx: 6},
+	corePath + ".Engine.FetchAdd":       {tmIdx: 0, dispIdx: 1, countIdx: -1},
+	corePath + ".Engine.CompareSwap":    {tmIdx: 0, dispIdx: 1, countIdx: -1},
+}
+
+func runBoundsCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		sizes := exposureSizes(pass, file)
+		if len(sizes) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			shape, ok := accessShapes[funcKey(fn)]
+			if !ok {
+				return true
+			}
+			checkBounds(pass, fn.Name(), call, shape, sizes)
+			return true
+		})
+	}
+}
+
+func checkBounds(pass *Pass, callName string, call *ast.CallExpr, shape accessShape, sizes map[types.Object]int64) {
+	if shape.tmIdx >= len(call.Args) || shape.dispIdx >= len(call.Args) {
+		return
+	}
+	size, ok := sizes[objectOf(pass.TypesInfo, call.Args[shape.tmIdx])]
+	if !ok {
+		return
+	}
+	disp, ok := intConst(pass.TypesInfo, call.Args[shape.dispIdx])
+	if !ok {
+		return
+	}
+	if disp < 0 {
+		pass.Reportf(call.Pos(), "%s at negative displacement %d", callName, disp)
+		return
+	}
+
+	extent := int64(8) // RMW word
+	if shape.countIdx >= 0 {
+		if shape.layoutOverridble {
+			for _, opt := range optionCalls(pass.TypesInfo, call.Args) {
+				if callee(pass.TypesInfo, opt).Name() == "WithTargetLayout" {
+					return // target-side extent comes from the override; not folded
+				}
+			}
+		}
+		if shape.countIdx >= len(call.Args) || shape.dtIdx >= len(call.Args) {
+			return
+		}
+		count, ok := intConst(pass.TypesInfo, call.Args[shape.countIdx])
+		if !ok {
+			return
+		}
+		elem, ok := dtypeExtent(pass.TypesInfo, call.Args[shape.dtIdx])
+		if !ok {
+			return
+		}
+		extent = count * elem
+	}
+
+	if disp+extent > size {
+		pass.Reportf(call.Pos(), "%s of %d bytes at displacement %d exceeds the %d-byte exposure ([%d,%d) out of bounds)",
+			callName, extent, disp, size, disp, disp+extent)
+	}
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochOrderAnalyzer reports provably invalid orders of MPI-2 window
+// synchronization calls — the mistakes internal/mpi2rma turns into runtime
+// ErrEpoch failures, caught before the program runs. It analyzes each
+// statement list linearly (no cross-branch merging), so every report is a
+// sequence the runtime is guaranteed to reject.
+var EpochOrderAnalyzer = &Analyzer{
+	Name: "epochorder",
+	Doc: "finds statically invalid MPI-2 epoch sequences on mpi2rma windows:\n" +
+		"double Lock on one rank, Unlock without Lock, Complete without Start,\n" +
+		"Wait/Test without Post, Fence or Free inside a PSCW/lock epoch, use\n" +
+		"after Free, and (for windows created in the same block) RMA access\n" +
+		"outside any epoch.",
+	Run: runEpochOrder,
+}
+
+// tri is three-valued knowledge about one epoch fact.
+type tri uint8
+
+const (
+	unknown tri = iota
+	yes
+	no
+)
+
+// winState is the per-window epoch state tracked through one statement
+// list. A window created by WinCreate in the same list starts fully known
+// (everything closed); any other window starts unknown and only becomes
+// known through the calls observed.
+type winState struct {
+	local       bool          // WinCreate seen in this list
+	fence       tri           // a fence epoch has been opened (never closes in mpi2rma)
+	start       tri           // access epoch (Start..Complete) open
+	post        tri           // exposure epoch (Post..Wait) open
+	locks       map[int64]tri // per constant target rank
+	lockUnknown bool          // a Lock/Unlock with non-constant rank was seen
+	freed       bool
+}
+
+func (w *winState) lockState(rank int64) tri {
+	if s, ok := w.locks[rank]; ok {
+		return s
+	}
+	if w.lockUnknown {
+		return unknown
+	}
+	if w.local {
+		return no
+	}
+	return unknown
+}
+
+// anyLockOpen reports whether some lock is provably held.
+func (w *winState) anyLockOpen() bool {
+	for _, s := range w.locks {
+		if s == yes {
+			return true
+		}
+	}
+	return false
+}
+
+// noEpochOpen reports whether every epoch is provably closed — only then
+// is an access-outside-epoch report justified.
+func (w *winState) noEpochOpen() bool {
+	if w.fence != no || w.start != no || w.lockUnknown {
+		return false
+	}
+	for _, s := range w.locks {
+		if s != no {
+			return false
+		}
+	}
+	return w.local // absent lock entries mean "closed" only for local windows
+}
+
+func runEpochOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				checkEpochList(pass, b.List)
+			case *ast.CaseClause:
+				checkEpochList(pass, b.Body)
+			case *ast.CommClause:
+				checkEpochList(pass, b.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkEpochList runs the linear epoch state machine over one statement
+// list. Nested blocks are their own lists (visited separately with fresh
+// state), so control flow never merges and every report is definite.
+func checkEpochList(pass *Pass, stmts []ast.Stmt) {
+	wins := map[types.Object]*winState{}
+	state := func(obj types.Object) *winState {
+		w := wins[obj]
+		if w == nil {
+			w = &winState{locks: map[int64]tri{}}
+			wins[obj] = w
+		}
+		return w
+	}
+
+	for _, stmt := range stmts {
+		// WinCreate in this list: the window starts with everything closed.
+		if assign, ok := stmt.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 {
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok &&
+				calleeKey(pass.TypesInfo, call) == mpi2Path+".RMA.WinCreate" && len(assign.Lhs) > 0 {
+				if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						wins[obj] = &winState{local: true, fence: no, start: no, post: no, locks: map[int64]tri{}}
+					}
+				}
+			}
+		}
+		for _, call := range directCalls(stmt) {
+			fn := callee(pass.TypesInfo, call)
+			key := funcKey(fn)
+			const winPrefix = mpi2Path + ".Win."
+			if len(key) <= len(winPrefix) || key[:len(winPrefix)] != winPrefix {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			recv := objectOf(pass.TypesInfo, sel.X)
+			if recv == nil {
+				continue
+			}
+			applyEpochCall(pass, state(recv), fn.Name(), call)
+		}
+	}
+}
+
+// applyEpochCall checks one Win method call against the window's tracked
+// state, reporting provable violations, and advances the state.
+func applyEpochCall(pass *Pass, w *winState, method string, call *ast.CallExpr) {
+	if w.freed {
+		pass.Reportf(call.Pos(), "%s on a window after Free", method)
+		return
+	}
+	switch method {
+	case "Lock":
+		rank, const_ := int64(0), false
+		if len(call.Args) >= 2 {
+			rank, const_ = intConst(pass.TypesInfo, call.Args[1])
+		}
+		if !const_ {
+			w.lockUnknown = true
+			return
+		}
+		if w.lockState(rank) == yes {
+			pass.Reportf(call.Pos(), "Lock on rank %d while already holding a lock on that rank (Unlock it first)", rank)
+		}
+		w.locks[rank] = yes
+	case "Unlock":
+		rank, const_ := int64(0), false
+		if len(call.Args) >= 1 {
+			rank, const_ = intConst(pass.TypesInfo, call.Args[0])
+		}
+		if !const_ {
+			w.lockUnknown = true
+			return
+		}
+		if w.lockState(rank) == no {
+			pass.Reportf(call.Pos(), "Unlock on rank %d without holding the lock", rank)
+		}
+		w.locks[rank] = no
+	case "Fence":
+		if w.start == yes || w.post == yes || w.anyLockOpen() {
+			pass.Reportf(call.Pos(), "Fence while a PSCW or lock epoch is open (close it with Complete/Wait/Unlock first)")
+		}
+		w.fence = yes
+	case "Start":
+		if w.start == yes {
+			pass.Reportf(call.Pos(), "Start while an access epoch is already open")
+		}
+		w.start = yes
+	case "Complete":
+		if w.start == no {
+			pass.Reportf(call.Pos(), "Complete without a matching Start")
+		}
+		w.start = no
+	case "Post":
+		if w.post == yes {
+			pass.Reportf(call.Pos(), "Post while an exposure epoch is already open")
+		}
+		w.post = yes
+	case "Wait":
+		if w.post == no {
+			pass.Reportf(call.Pos(), "Wait without a matching Post")
+		}
+		w.post = no
+	case "Test":
+		if w.post == no {
+			pass.Reportf(call.Pos(), "Test without a matching Post")
+		}
+		w.post = unknown // Test closes the epoch only on success
+	case "Free":
+		if w.start == yes || w.post == yes || w.anyLockOpen() {
+			pass.Reportf(call.Pos(), "Free inside an open epoch (close it with Complete/Wait/Unlock first)")
+		}
+		w.freed = true
+	case "Put", "Get", "Accumulate":
+		if w.noEpochOpen() {
+			pass.Reportf(call.Pos(), "RMA %s outside any epoch (MPI-2 requires an open fence, start, or lock epoch)", method)
+		}
+	}
+}
+
+// directCalls extracts the calls a statement performs in order, without
+// descending into nested blocks (their own lists) or function literals
+// (deferred execution). Deferred and spawned calls are skipped: they run
+// at another time and must not advance the linear state.
+func directCalls(stmt ast.Stmt) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		calls = callsIn(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			calls = append(calls, callsIn(rhs)...)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			calls = append(calls, callsIn(r)...)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			calls = directCalls(s.Init)
+		}
+		calls = append(calls, callsIn(s.Cond)...)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			calls = directCalls(s.Init)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						calls = append(calls, callsIn(v)...)
+					}
+				}
+			}
+		}
+	}
+	return calls
+}
+
+// callsIn collects calls within one expression, skipping function literals.
+func callsIn(expr ast.Expr) []*ast.CallExpr {
+	if expr == nil {
+		return nil
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}

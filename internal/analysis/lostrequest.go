@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LostRequestAnalyzer reports nonblocking RMA operations whose returned
+// request is discarded in a function that never reaches a completion call:
+// the operation may never be applied, and nothing will ever say so — the
+// one-sided analogue of dropping an error.
+var LostRequestAnalyzer = &Analyzer{
+	Name: "lostrequest",
+	Doc: "finds Put/Get/Accumulate requests that are discarded (assigned to _\n" +
+		"or never used) in functions with no later Complete/CompleteAll/\n" +
+		"CompleteCollective; such operations have no completion point at all.\n" +
+		"Blocking operations (WithBlocking, AttrBlocking) are exempt.",
+	Run: runLostRequest,
+}
+
+// requestProducers return (*Request, error); the request is the only handle
+// on local completion.
+var requestProducers = map[string]bool{
+	rmaPath + ".Session.Put":            true,
+	rmaPath + ".Session.PutNotify":      true,
+	rmaPath + ".Session.Get":            true,
+	rmaPath + ".Session.Accumulate":     true,
+	rmaPath + ".Session.AccumulateAxpy": true,
+	corePath + ".Engine.Put":            true,
+	corePath + ".Engine.Get":            true,
+	corePath + ".Engine.Accumulate":     true,
+	corePath + ".Engine.AccumulateAxpy": true,
+}
+
+// completers guarantee completion of previously-issued operations without
+// the request.
+var completers = map[string]bool{
+	rmaPath + ".Session.Complete":           true,
+	rmaPath + ".Session.CompleteAll":        true,
+	rmaPath + ".Session.CompleteCollective": true,
+	corePath + ".Engine.Complete":           true,
+	corePath + ".Engine.CompleteCollective": true,
+}
+
+func runLostRequest(pass *Pass) {
+	// Each declaration body is scanned once, closures included: a closure
+	// shares its enclosing function's lexical order, so a completion after
+	// (or inside) it counts for requests issued before it and vice versa.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLostRequests(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func checkLostRequests(pass *Pass, body *ast.BlockStmt) {
+	// Every completion call anywhere in the body (including nested blocks
+	// and closures) counts, by position: crossing control flow we only
+	// claim "no completion is even reachable from here", which keeps the
+	// analyzer free of false positives at the cost of missing some lost
+	// requests behind conditionals.
+	var completions []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && completers[calleeKey(pass.TypesInfo, call)] {
+			completions = append(completions, call.Pos())
+		}
+		return true
+	})
+	completionAfter := func(pos token.Pos) bool {
+		for _, c := range completions {
+			if c > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(pass.TypesInfo, call)
+		if !requestProducers[funcKey(fn)] || len(assign.Lhs) != 2 {
+			return true
+		}
+		if isBlockingCall(pass.TypesInfo, call) {
+			return true
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true // stored into a slice/field: escapes
+		}
+		if lhs.Name != "_" {
+			obj := pass.TypesInfo.Defs[lhs]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[lhs]
+			}
+			if obj == nil || usedElsewhere(pass.TypesInfo, body, obj, lhs) {
+				return true
+			}
+		}
+		if completionAfter(call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"request returned by %s is discarded and no Complete/CompleteAll/CompleteCollective follows in this function; the operation has no completion point (keep the request and Wait it, pass WithBlocking, or complete the target)",
+			fn.Name())
+		return true
+	})
+}
+
+// isBlockingCall reports whether the operation call carries blocking
+// semantics: the rma.WithBlocking() option, or (for engine-level calls) an
+// attrs expression that constant-folds to a value with the AttrBlocking
+// bit set, or one mentioning AttrBlocking or StrictDebugAttrs.
+func isBlockingCall(info *types.Info, call *ast.CallExpr) bool {
+	for _, opt := range optionCalls(info, call.Args) {
+		name := callee(info, opt).Name()
+		if name == "WithBlocking" || name == "WithStrictDebug" {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		// Constant attrs (including package-level consts like a library's
+		// own blockingAttrs) fold to a value we can test directly.
+		if attrHasBlockingBit(info, arg) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		blocking := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == corePath &&
+					(obj.Name() == "AttrBlocking" || obj.Name() == "StrictDebugAttrs") {
+					blocking = true
+				}
+			}
+			return !blocking
+		})
+		if blocking {
+			return true
+		}
+	}
+	return false
+}
+
+// attrHasBlockingBit reports whether arg is a constant expression of type
+// core.Attr whose value has the AttrBlocking bit set. The bit's value is
+// read from the core package's own AttrBlocking constant (reached through
+// the argument's type), so the analyzer never hardcodes it.
+func attrHasBlockingBit(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != corePath || obj.Name() != "Attr" {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return false
+	}
+	blocking, ok := obj.Pkg().Scope().Lookup("AttrBlocking").(*types.Const)
+	if !ok {
+		return false
+	}
+	bit, exact := constant.Int64Val(constant.ToInt(blocking.Val()))
+	if !exact {
+		return false
+	}
+	return v&bit != 0
+}
+
+// usedElsewhere reports whether obj is referenced in body at any identifier
+// other than except (the assignment's own left-hand side).
+func usedElsewhere(info *types.Info, body *ast.BlockStmt, obj types.Object, except *ast.Ident) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id != except && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

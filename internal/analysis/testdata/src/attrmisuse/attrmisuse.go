@@ -1,0 +1,78 @@
+// Package attrmisuse is the golden input for the attrmisuse analyzer.
+package attrmisuse
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/serializer"
+	"mpi3rma/rma"
+)
+
+func sessionOnlyOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(8), rma.WithBlocking())                                         // want "WithBatch is ignored on Put"
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithMetrics(), rma.WithBlocking())                                        // want "WithMetrics is ignored on Put"
+	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomicity(serializer.MechThread), rma.WithBlocking()) // want "WithAtomicity is ignored on Accumulate"
+	_ = s.CompleteAll()
+}
+
+func sessionOptionsAtOpenAreFine(p *runtime.Proc) {
+	_ = rma.Open(p, rma.WithBatch(8), rma.WithBatchBytes(1024), rma.WithMetrics(), rma.WithTracing(0), rma.WithChecker())
+}
+
+func duplicateOption(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithOrdering(), rma.WithOrdering(), rma.WithBlocking()) // want "duplicate option WithOrdering"
+	_ = s.CompleteAll()
+}
+
+func notifyOnPutNotify(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.PutNotify(src, 1, rma.Int64, tm, 0, rma.WithNotify(), rma.WithBlocking()) // want "WithNotify is redundant on PutNotify"
+	_ = s.CompleteAll()
+}
+
+func rmwNoOps(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	_, _ = s.FetchAdd(tm, 0, 1, rma.WithAtomic())               // want "WithAtomic is a no-op on FetchAdd"
+	_, _ = s.FetchAdd(tm, 0, 1, rma.WithBlocking())             // want "WithBlocking is a no-op on FetchAdd"
+	_, _ = s.CompareSwap(tm, 0, 0, 1, rma.WithRemoteComplete()) // want "WithRemoteComplete is a no-op on CompareSwap"
+	_, _ = s.FetchAdd(tm, 0, 1, rma.WithOrdering())             // ordering is meaningful on RMWs: no report
+}
+
+func getNoOps(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	dst := p.Alloc(8)
+	_, _ = s.Get(dst, 1, rma.Int64, tm, 0, rma.WithRemoteComplete(), rma.WithBlocking()) // want "WithRemoteComplete is a no-op on Get"
+	_, _ = s.Get(dst, 1, rma.Int64, tm, 0, rma.WithNotify(), rma.WithBlocking())         // want "WithNotify is a no-op on Get"
+	_ = s.CompleteAll()
+}
+
+func strictDebugImplies(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, // want "WithOrdering is redundant alongside WithStrictDebug"
+		rma.WithStrictDebug(), rma.WithOrdering())
+	_ = s.CompleteAll()
+}
+
+func targetLayoutAtOpen(p *runtime.Proc) {
+	_ = rma.Open(p, rma.WithTargetLayout(4, rma.Int32)) // want "WithTargetLayout is meaningless at Open"
+}
+
+func targetLayoutOnTransferIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(16)
+	_, _ = s.Put(src, 16, rma.Byte, tm, 0, rma.WithTargetLayout(1, rma.Vector(4, 4, 8, rma.Byte)), rma.WithBlocking())
+	_ = s.CompleteAll()
+}
+
+func suppressed(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	//rmalint:ignore attrmisuse exercising the ignored-option path on purpose
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(4), rma.WithBlocking())
+	_ = s.CompleteAll()
+}

@@ -1,0 +1,103 @@
+// Package boundscheck is the golden input for the boundscheck analyzer.
+package boundscheck
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+const slots = 8
+
+func overrun(p *runtime.Proc, target int) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(128)
+	_, _ = s.Put(src, 9, rma.Int64, tm, 0, rma.WithBlocking())  // want "Put of 72 bytes at displacement 0 exceeds the 64-byte exposure"
+	_, _ = s.Put(src, 1, rma.Int64, tm, 60, rma.WithBlocking()) // want "Put of 8 bytes at displacement 60 exceeds the 64-byte exposure"
+	_, _ = s.Get(src, 8, rma.Int64, tm, 8, rma.WithBlocking())  // want "Get of 64 bytes at displacement 8 exceeds the 64-byte exposure"
+	_ = s.CompleteAll()
+}
+
+func constantFolding(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(slots * 8)
+	src := p.Alloc(128)
+	_, _ = s.Put(src, slots, rma.Int64, tm, 8, rma.WithBlocking()) // want "Put of 64 bytes at displacement 8 exceeds the 64-byte exposure"
+	_, _ = s.Put(src, slots, rma.Int64, tm, 0, rma.WithBlocking()) // exactly fits: no report
+	_ = s.CompleteAll()
+}
+
+func negativeDisplacement(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, -8, rma.WithBlocking()) // want "Put at negative displacement -8"
+	_ = s.CompleteAll()
+}
+
+func rmwWord(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	_, _ = s.FetchAdd(tm, 60, 1)       // want "FetchAdd of 8 bytes at displacement 60 exceeds the 64-byte exposure"
+	_, _ = s.CompareSwap(tm, 64, 0, 1) // want "CompareSwap of 8 bytes at displacement 64 exceeds the 64-byte exposure"
+	_, _ = s.FetchAdd(tm, 56, 1)       // last word: no report
+}
+
+func accumulateShape(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(32)
+	src := p.Alloc(64)
+	_, _ = s.Accumulate(rma.Sum, src, 5, rma.Int64, tm, 0, rma.WithBlocking()) // want "Accumulate of 40 bytes at displacement 0 exceeds the 32-byte exposure"
+	_ = s.CompleteAll()
+}
+
+func inBoundsIsFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(64)
+	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
+	_, _ = s.Put(src, 16, rma.Float32, tm, 0, rma.WithBlocking())
+	_, _ = s.Get(src, 4, rma.Int64, tm, 32, rma.WithBlocking())
+	_ = s.CompleteAll()
+}
+
+// A non-constant size, displacement, or count defeats folding: no reports.
+func dynamicQuantitiesAreFine(p *runtime.Proc, size, disp, count int) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(size)
+	src := p.Alloc(1024)
+	_, _ = s.Put(src, 9, rma.Int64, tm, 0, rma.WithBlocking())
+	tm2, _ := s.Expose(64)
+	_, _ = s.Put(src, count, rma.Int64, tm2, 0, rma.WithBlocking())
+	_, _ = s.Put(src, 1, rma.Int64, tm2, disp, rma.WithBlocking())
+	_ = s.CompleteAll()
+}
+
+// WithTargetLayout changes the target-side extent; the symmetric-layout
+// fold does not apply.
+func targetLayoutDefeatsFolding(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(128)
+	_, _ = s.Put(src, 16, rma.Int64, tm, 0, rma.WithTargetLayout(1, rma.Vector(8, 4, 8, rma.Byte)), rma.WithBlocking())
+	_ = s.CompleteAll()
+}
+
+// Reassigned descriptors have unknown sizes.
+func reassignedIsUnknown(p *runtime.Proc, other rma.TargetMem) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(16)
+	tm = other
+	src := p.Alloc(64)
+	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
+	_ = s.CompleteAll()
+}
+
+func suppressed(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(16)
+	src := p.Alloc(64)
+	//rmalint:ignore boundscheck exercising the runtime ErrBounds path
+	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
+	_ = s.CompleteAll()
+}

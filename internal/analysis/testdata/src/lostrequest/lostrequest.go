@@ -1,0 +1,120 @@
+// Package lostrequest is the golden input for the lostrequest analyzer.
+package lostrequest
+
+import (
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func lostBlank(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, err := s.Put(src, 1, rma.Int64, tm, 0) // want "request returned by Put is discarded"
+	_ = err
+}
+
+func lostGetInIf(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	dst := p.Alloc(8)
+	if _, err := s.Get(dst, 1, rma.Int64, tm, 0); err != nil { // want "request returned by Get is discarded"
+		return
+	}
+}
+
+func lostAccumulate(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0) // want "request returned by Accumulate is discarded"
+}
+
+func blockingIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBlocking())
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithStrictDebug())
+}
+
+func completedLaterIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.Complete(tm.Owner)
+}
+
+func collectiveCompletionIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.PutNotify(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteCollective()
+}
+
+func keptAndWaitedIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	req, err := s.Put(src, 1, rma.Int64, tm, 0)
+	if err != nil {
+		return
+	}
+	req.Wait()
+}
+
+func escapedIsFine(p *runtime.Proc, tm rma.TargetMem) []*rma.Request {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	var reqs []*rma.Request
+	for i := 0; i < 4; i++ {
+		req, err := s.Get(src, 1, rma.Int64, tm, 8*i)
+		if err != nil {
+			return nil
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+func closureCompletionCounts(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	defer func() { _ = s.CompleteAll() }()
+}
+
+func suppressed(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	//rmalint:ignore lostrequest intentional fire-and-forget for the demo
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+}
+
+func engineLost(p *runtime.Proc, tm core.TargetMem) {
+	e := core.Attach(p, core.Options{})
+	src := p.Alloc(8)
+	_, _ = e.Put(src, 8, rma.Byte, tm, 0, 8, rma.Byte, 0, p.Comm(), 0) // want "request returned by Put is discarded"
+}
+
+func engineBlockingIsFine(p *runtime.Proc, tm core.TargetMem) {
+	e := core.Attach(p, core.Options{})
+	src := p.Alloc(8)
+	_, _ = e.Put(src, 8, rma.Byte, tm, 0, 8, rma.Byte, 0, p.Comm(), core.AttrBlocking|core.AttrOrdering)
+}
+
+// A library's own attribute const folds to a constant with the blocking
+// bit set: no report, even though AttrBlocking never appears at the call.
+const libBlocking = core.AttrBlocking | core.AttrOrdering
+
+func engineConstFoldedBlockingIsFine(p *runtime.Proc, tm core.TargetMem) {
+	e := core.Attach(p, core.Options{})
+	src := p.Alloc(8)
+	_, _ = e.Put(src, 8, rma.Byte, tm, 0, 8, rma.Byte, 0, p.Comm(), libBlocking)
+	_, _ = e.Put(src, 8, rma.Byte, tm, 0, 8, rma.Byte, 0, p.Comm(), libBlocking|core.AttrAtomic)
+}
+
+// A nonblocking const is still a lost request.
+const libOrdered = core.AttrOrdering
+
+func engineConstFoldedNonblocking(p *runtime.Proc, tm core.TargetMem) {
+	e := core.Attach(p, core.Options{})
+	src := p.Alloc(8)
+	_, _ = e.Put(src, 8, rma.Byte, tm, 0, 8, rma.Byte, 0, p.Comm(), libOrdered) // want "request returned by Put is discarded"
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted patterns of a `// want "p1" "p2"` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunGolden loads the golden package at pkgPath (a testdata import path —
+// excluded from ./... wildcards but loadable explicitly), runs one
+// analyzer over it, and matches the findings against `// want "regexp"`
+// comments, in both directions: every want must be reported on its line,
+// and every report must be wanted.
+func RunGolden(t *testing.T, analyzer *Analyzer, pkgPath string) {
+	t.Helper()
+	pkgs, err := Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s resolved %d packages, want 1", pkgPath, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("golden package must type-check: %v", terr)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	diags := Run([]*Package{pkg}, []*Analyzer{analyzer})
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", position(d.Pos), d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("missing diagnostic at %s:%d: no report matched %q", k.file, k.line, re)
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

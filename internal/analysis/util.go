@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Well-known package paths the analyzers key on.
+const (
+	rmaPath     = "mpi3rma/rma"
+	mpi2Path    = "mpi3rma/internal/mpi2rma"
+	corePath    = "mpi3rma/internal/core"
+	runtimePath = "mpi3rma/internal/runtime"
+)
+
+// callee resolves the *types.Func a call invokes, or nil for calls through
+// function values, conversions, and builtins.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcKey names a function as "pkgpath.Name" or a method as
+// "pkgpath.Recv.Name", the form the analyzers' tables use.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			key += named.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// calleeKey combines callee and funcKey.
+func calleeKey(info *types.Info, call *ast.CallExpr) string {
+	return funcKey(callee(info, call))
+}
+
+// intConst constant-folds expr to an int64 using the type checker's
+// constant propagation (covers literals, named constants, and constant
+// arithmetic).
+func intConst(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// dtypeExtent resolves a datatype expression to its byte extent when it is
+// one of the predefined primitive types (rma.Byte, rma.Int64, ...,
+// referenced directly or through internal/datatype). Derived layouts
+// return ok=false.
+func dtypeExtent(info *types.Info, expr ast.Expr) (int64, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return 0, false
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return 0, false
+	}
+	switch obj.Pkg().Path() {
+	case rmaPath, "mpi3rma/internal/datatype":
+	default:
+		return 0, false
+	}
+	switch obj.Name() {
+	case "Byte":
+		return 1, true
+	case "Int32", "Float32":
+		return 4, true
+	case "Int64", "Float64":
+		return 8, true
+	}
+	return 0, false
+}
+
+// objectOf resolves an identifier expression to its object (through Uses),
+// or nil for anything that is not a plain identifier.
+func objectOf(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// optionCalls yields the option-constructor calls among an argument list:
+// each arg that is a call to a function in mpi3rma/rma whose name starts
+// with "With".
+func optionCalls(info *types.Info, args []ast.Expr) []*ast.CallExpr {
+	var opts []*ast.CallExpr
+	for _, arg := range args {
+		call, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := callee(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != rmaPath {
+			continue
+		}
+		if len(fn.Name()) > 4 && fn.Name()[:4] == "With" {
+			opts = append(opts, call)
+		}
+	}
+	return opts
+}

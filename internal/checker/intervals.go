@@ -1,0 +1,74 @@
+package checker
+
+import "sort"
+
+// interval is a half-open byte range [Lo, Hi) within one exposure.
+type interval struct {
+	Lo, Hi int
+}
+
+// intervalSet is a sorted, coalesced set of half-open byte intervals. It is
+// the checker's cheap pre-filter: before scanning the live-access list for a
+// precise conflict, the new access is tested against the merged footprint of
+// each other origin, so disjoint traffic (the common case in a correct
+// program) costs one binary search instead of a linear scan.
+type intervalSet struct {
+	iv []interval
+}
+
+// Add inserts [lo, hi), merging it with any intervals it touches. Adjacent
+// intervals coalesce: Add(0,4) then Add(4,8) leaves a single [0,8).
+func (s *intervalSet) Add(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	// First interval whose end reaches lo: everything before it stays.
+	i := sort.Search(len(s.iv), func(k int) bool { return s.iv[k].Hi >= lo })
+	j := i
+	for j < len(s.iv) && s.iv[j].Lo <= hi {
+		if s.iv[j].Lo < lo {
+			lo = s.iv[j].Lo
+		}
+		if s.iv[j].Hi > hi {
+			hi = s.iv[j].Hi
+		}
+		j++
+	}
+	if i == j {
+		s.iv = append(s.iv, interval{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = interval{lo, hi}
+		return
+	}
+	s.iv[i] = interval{lo, hi}
+	s.iv = append(s.iv[:i+1], s.iv[j:]...)
+}
+
+// Overlaps reports whether [lo, hi) shares at least one byte with the set.
+// Touching endpoints do not overlap: [0,4) and [4,8) are disjoint.
+func (s *intervalSet) Overlaps(lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	i := sort.Search(len(s.iv), func(k int) bool { return s.iv[k].Hi > lo })
+	return i < len(s.iv) && s.iv[i].Lo < hi
+}
+
+// Reset empties the set, keeping its backing array.
+func (s *intervalSet) Reset() { s.iv = s.iv[:0] }
+
+// Len returns the number of disjoint intervals held.
+func (s *intervalSet) Len() int { return len(s.iv) }
+
+// overlap returns the intersection of two half-open ranges, or ok=false.
+func overlap(aLo, aHi, bLo, bHi int) (lo, hi int, ok bool) {
+	lo = aLo
+	if bLo > lo {
+		lo = bLo
+	}
+	hi = aHi
+	if bHi < hi {
+		hi = bHi
+	}
+	return lo, hi, lo < hi
+}

@@ -1,0 +1,93 @@
+package checker
+
+import "testing"
+
+func TestIntervalSetCoalesces(t *testing.T) {
+	var s intervalSet
+	s.Add(0, 4)
+	s.Add(8, 12)
+	if s.Len() != 2 {
+		t.Fatalf("disjoint adds left %d intervals, want 2", s.Len())
+	}
+	s.Add(4, 8) // bridges the gap, touching both neighbours
+	if s.Len() != 1 {
+		t.Fatalf("bridging add left %d intervals, want 1", s.Len())
+	}
+	if !s.Overlaps(0, 1) || !s.Overlaps(11, 12) || s.Overlaps(12, 20) {
+		t.Errorf("merged set %v answers overlap queries wrongly", s.iv)
+	}
+}
+
+func TestIntervalSetHalfOpen(t *testing.T) {
+	var s intervalSet
+	s.Add(4, 8)
+	if s.Overlaps(0, 4) || s.Overlaps(8, 12) {
+		t.Error("touching endpoints must not overlap")
+	}
+	if !s.Overlaps(7, 9) || !s.Overlaps(0, 5) || !s.Overlaps(5, 6) {
+		t.Error("genuinely overlapping ranges not detected")
+	}
+	s.Add(6, 6) // empty: no-op
+	if s.Len() != 1 {
+		t.Error("empty interval changed the set")
+	}
+}
+
+// naiveSet is the oracle: a byte bitmap.
+type naiveSet map[int]bool
+
+func (n naiveSet) Add(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		n[b] = true
+	}
+}
+
+func (n naiveSet) Overlaps(lo, hi int) bool {
+	for b := lo; b < hi; b++ {
+		if n[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzCheckerIntervals drives the coalescing interval set against a bitmap
+// oracle: every byte pair of the fuzz input encodes one Add or Overlaps
+// operation over a small coordinate space.
+func FuzzCheckerIntervals(f *testing.F) {
+	f.Add([]byte{0, 4, 4, 8, 2, 6})
+	f.Add([]byte{10, 2, 1, 1, 0, 255})
+	f.Add([]byte{128, 130, 129, 131, 127, 132, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s intervalSet
+		oracle := naiveSet{}
+		for i := 0; i+1 < len(data); i += 2 {
+			lo, hi := int(data[i]), int(data[i+1])
+			if lo > hi {
+				// Odd pairs query, even pairs add; reversed bounds select
+				// the query so both operations interleave unpredictably.
+				if got, want := s.Overlaps(hi, lo), oracle.Overlaps(hi, lo); got != want {
+					t.Fatalf("Overlaps(%d,%d) = %v, oracle says %v (set %v)", hi, lo, got, want, s.iv)
+				}
+				continue
+			}
+			s.Add(lo, hi)
+			oracle.Add(lo, hi)
+		}
+		// Invariants: sorted, non-empty, non-touching intervals.
+		for k, iv := range s.iv {
+			if iv.Lo >= iv.Hi {
+				t.Fatalf("empty interval %v stored at %d", iv, k)
+			}
+			if k > 0 && s.iv[k-1].Hi >= iv.Lo {
+				t.Fatalf("intervals %v and %v touch or overlap", s.iv[k-1], iv)
+			}
+		}
+		// Exhaustive agreement with the oracle over the coordinate space.
+		for b := 0; b < 256; b++ {
+			if got, want := s.Overlaps(b, b+1), oracle.Overlaps(b, b+1); got != want {
+				t.Fatalf("byte %d: set says %v, oracle says %v (set %v)", b, got, want, s.iv)
+			}
+		}
+	})
+}

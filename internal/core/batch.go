@@ -44,16 +44,17 @@ import (
 
 // batchOp is one ring-held operation awaiting aggregation.
 type batchOp struct {
-	handle uint64
-	disp   int
-	tcount int
-	accOp  AccOp
-	atomic bool
-	scale  float64
-	dt     []byte // encoded target datatype
-	wire   []byte // packed origin data (pooled)
-	req    *Request
-	rc     bool // member wants remote completion (completes on batch notify)
+	handle  uint64
+	disp    int
+	tcount  int
+	accOp   AccOp
+	atomic  bool
+	ordered bool
+	scale   float64
+	dt      []byte // encoded target datatype
+	wire    []byte // packed origin data (pooled)
+	req     *Request
+	rc      bool // member wants remote completion (completes on batch notify)
 }
 
 // issueRing accumulates batchable operations bound for one target.
@@ -70,7 +71,10 @@ type pendingBatch struct {
 }
 
 // Batch payload op flags.
-const batchFlagAtomic = 1 << 0
+const (
+	batchFlagAtomic  = 1 << 0
+	batchFlagOrdered = 1 << 1 // member carried AttrOrdering (semantic-checker metadata)
+)
 
 // wirePool recycles the packed-data buffers of ring operations.
 var wirePool sync.Pool
@@ -124,16 +128,17 @@ func (e *Engine) appendBatch(accOp AccOp, scale float64, origin memsim.Region, o
 	}
 	req := e.newRequest()
 	bop := batchOp{
-		handle: tm.Handle,
-		disp:   tdisp,
-		tcount: tcount,
-		accOp:  accOp,
-		atomic: attrs&AttrAtomic != 0,
-		scale:  scale,
-		dt:     datatype.Encode(tdt),
-		wire:   wire,
-		req:    req,
-		rc:     attrs&AttrRemoteComplete != 0,
+		handle:  tm.Handle,
+		disp:    tdisp,
+		tcount:  tcount,
+		accOp:   accOp,
+		atomic:  attrs&AttrAtomic != 0,
+		ordered: attrs&AttrOrdering != 0,
+		scale:   scale,
+		dt:      datatype.Encode(tdt),
+		wire:    wire,
+		req:     req,
+		rc:      attrs&AttrRemoteComplete != 0,
 	}
 
 	if e.lat.Load() != nil {
@@ -209,6 +214,10 @@ func (e *Engine) flushTarget(world int) {
 	// not share an id with any member request.
 	e.reqSeq++
 	id := e.reqSeq
+	// Members were all issued under the current epoch: flushTarget runs
+	// before Order/Complete advance it, so the envelope's stamp speaks
+	// for every member.
+	epoch := e.targetLocked(world).chkEpoch
 	e.mu.Unlock()
 
 	buf := batchBufPool.Get().([]byte)[:0]
@@ -219,6 +228,9 @@ func (e *Engine) flushTarget(world int) {
 		flags := byte(0)
 		if op.atomic {
 			flags |= batchFlagAtomic
+		}
+		if op.ordered {
+			flags |= batchFlagOrdered
 		}
 		buf = append(buf, flags, byte(op.accOp))
 		buf = binary.AppendUvarint(buf, op.handle)
@@ -249,6 +261,7 @@ func (e *Engine) flushTarget(world int) {
 	m := newMsg(world, kBatch)
 	m.Hdr[hReq] = id
 	m.Hdr[hCount] = uint64(len(ops))
+	m.Hdr[hMeta] = (epoch & 0xffffffff) << 32
 	m.Hdr[hSeq] = seq
 	m.Ops = len(ops)
 	m.Payload = buf
@@ -306,14 +319,15 @@ func (e *Engine) PutNotify(origin memsim.Region, ocount int, odt datatype.Type, 
 
 // wireOp is one decoded member of an aggregate message.
 type wireOp struct {
-	handle uint64
-	disp   int
-	tcount int
-	accOp  AccOp
-	atomic bool
-	scale  float64
-	tdt    datatype.Type
-	wire   []byte // aliases the aggregate payload
+	handle  uint64
+	disp    int
+	tcount  int
+	accOp   AccOp
+	atomic  bool
+	ordered bool
+	scale   float64
+	tdt     datatype.Type
+	wire    []byte // aliases the aggregate payload
 }
 
 // batchUvarint reads one bounded uvarint field from p.
@@ -346,6 +360,7 @@ func decodeBatch(p []byte) ([]wireOp, error) {
 		}
 		var op wireOp
 		op.atomic = p[0]&batchFlagAtomic != 0
+		op.ordered = p[0]&batchFlagOrdered != 0
 		op.accOp = AccOp(p[1])
 		if op.accOp > AccAxpy {
 			return nil, fmt.Errorf("core: batch op has unknown accumulate op %d", p[1])
@@ -504,6 +519,18 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 					} else {
 						e.notifyDeposit(m.Src, op.handle, op.disp, datatype.ExtentOf(op.tcount, op.tdt))
 					}
+				}
+				if c := e.ck(); c != nil && exp != nil {
+					kind := AccessPut
+					if op.accOp != AccNone && op.accOp != AccReplace {
+						kind = AccessAcc
+					}
+					c.rec.RecordAccess(Access{
+						Origin: m.Src, Target: e.proc.Rank(), Handle: op.handle,
+						Disp: op.disp, Len: datatype.ExtentOf(op.tcount, op.tdt),
+						Kind: kind, Atomic: op.atomic, Ordered: op.ordered,
+						OpID: m.Hdr[hReq], Member: i, Epoch: m.Hdr[hMeta] >> 32, At: end,
+					})
 				}
 				if t := e.tr(); t != nil {
 					t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "batched member=%d bytes=%d", i, len(op.wire))

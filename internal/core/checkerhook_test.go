@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/runtime"
+)
+
+// countingRecorder is a minimal AccessRecorder for engine-side tests.
+type countingRecorder struct {
+	mu       sync.Mutex
+	accesses []Access
+	retires  int
+}
+
+func (r *countingRecorder) RecordAccess(a Access) {
+	r.mu.Lock()
+	r.accesses = append(r.accesses, a)
+	r.mu.Unlock()
+}
+
+func (r *countingRecorder) RetireOrigin(origin, target int) {
+	r.mu.Lock()
+	r.retires++
+	r.mu.Unlock()
+}
+
+func (r *countingRecorder) RetireTarget(target int) {}
+
+// TestAccessRecorderObservesApplies: an installed recorder sees every
+// applied access with the fields the checker relies on — origin, byte
+// interval, kind, epoch advanced by Order, and retirement on Complete.
+func TestAccessRecorderObservesApplies(t *testing.T) {
+	w := newWorld(t, runtime.Config{Ranks: 2})
+	rec := &countingRecorder{}
+	err := w.Run(func(p *runtime.Proc) {
+		e := Attach(p, Options{})
+		comm := p.Comm()
+		// Like the facade's WithChecker: every rank reports into the same
+		// recorder — applies surface at the target, retirements at the
+		// origin.
+		e.SetAccessRecorder(rec)
+		if e.AccessRecorder() == nil {
+			t.Error("AccessRecorder lost the installed recorder")
+		}
+		if p.Rank() == 0 {
+			tm, _ := e.ExposeNew(64)
+			p.Send(1, 0, tm.Encode())
+			if err := e.CompleteCollective(comm); err != nil {
+				t.Errorf("complete collective: %v", err)
+			}
+			return
+		}
+		enc, _ := p.Recv(0, 0)
+		tm, _ := DecodeTargetMem(enc)
+		src := p.Alloc(16)
+		if _, err := e.Put(src, 8, datatype.Byte, tm, 0, 8, datatype.Byte, 0, comm, 0); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := e.Order(comm, 0); err != nil {
+			t.Fatalf("order: %v", err)
+		}
+		if _, err := e.Put(src, 8, datatype.Byte, tm, 8, 8, datatype.Byte, 0, comm, 0); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := e.Complete(comm, 0); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+		if err := e.CompleteCollective(comm); err != nil {
+			t.Errorf("complete collective: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rec.accesses) != 2 {
+		t.Fatalf("recorder saw %d accesses, want 2: %+v", len(rec.accesses), rec.accesses)
+	}
+	a, b := rec.accesses[0], rec.accesses[1]
+	if a.Disp+a.Len > b.Disp { // applied in issue order (Order between them)
+		a, b = b, a
+	}
+	if a.Origin != 1 || a.Target != 0 || a.Disp != 0 || a.Len != 8 || a.Kind != AccessPut {
+		t.Errorf("first access recorded as %+v, want origin 1 put of [0,8) at target 0", a)
+	}
+	if b.Disp != 8 || b.Len != 8 {
+		t.Errorf("second access recorded as %+v, want [8,16)", b)
+	}
+	if a.Epoch == b.Epoch {
+		t.Error("Order between the puts did not advance the stamped epoch")
+	}
+	if a.OpID == b.OpID {
+		t.Error("distinct singleton puts share an op id")
+	}
+	if rec.retires == 0 {
+		t.Error("Complete did not report RetireOrigin")
+	}
+}
+
+// TestPutHotPathNoAllocsWhenCheckerDisabled pins the checker's disabled
+// cost: with no recorder installed, the apply path's observation hook is
+// one atomic nil check, so the remote-complete put budget of the telemetry
+// test still holds. Installing a recorder may pay more (the Access value
+// escapes into the recorder), never less.
+func TestPutHotPathNoAllocsWhenCheckerDisabled(t *testing.T) {
+	w := newWorld(t, runtime.Config{Ranks: 2})
+	err := w.Run(func(p *runtime.Proc) {
+		e := Attach(p, Options{})
+		comm := p.Comm()
+		if p.Rank() == 0 {
+			tm, _ := e.ExposeNew(64)
+			p.Send(1, 0, tm.Encode())
+			if err := e.CompleteCollective(comm); err != nil {
+				t.Errorf("complete collective: %v", err)
+			}
+			return
+		}
+		enc, _ := p.Recv(0, 0)
+		tm, _ := DecodeTargetMem(enc)
+		src := p.Alloc(64)
+		put := func() {
+			req, err := e.Put(src, 64, datatype.Byte, tm, 0, 64, datatype.Byte, 0, comm, AttrRemoteComplete)
+			if err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			req.Wait()
+		}
+		put() // warm pools and lazy state before measuring
+		disabled := testing.AllocsPerRun(50, put)
+
+		// Same steady-state protocol budget as the telemetry alloc test:
+		// the checker hook must vanish behind its nil guard.
+		const budget = 278.0
+		if disabled > budget {
+			t.Errorf("checker-disabled put costs %.1f allocs/op, budget %.1f", disabled, budget)
+		}
+
+		// Note: the recorder runs on the *target* rank. This rank's engine
+		// has none installed either way; install one here to pin that even
+		// origin-side issue paths stay free (epoch stamping is header math).
+		e.SetAccessRecorder(&countingRecorder{})
+		put()
+		enabled := testing.AllocsPerRun(50, put)
+		if disabled > enabled {
+			t.Errorf("disabled path (%.1f allocs/op) costs more than enabled (%.1f)", disabled, enabled)
+		}
+		if err := e.Complete(comm, 0); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+		if err := e.CompleteCollective(comm); err != nil {
+			t.Errorf("complete collective: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

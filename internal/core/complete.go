@@ -79,6 +79,9 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 		reqs = append(reqs, r)
 	}
 	WaitAll(reqs...)
+	// Every covered op is now applied at its target, so the checker can
+	// retire this origin's accesses there; later ops get a fresh epoch.
+	e.retireOrigin(targets)
 	if lh := e.lat.Load(); lh != nil {
 		lh.complete.Observe(int64(e.proc.Now() - start))
 	}
@@ -136,6 +139,13 @@ func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 	// member's wait has finished before anyone proceeds.
 	at := e.waitAppliedFrom(members, expected)
 	e.proc.NIC().CPU().AdvanceTo(at)
+	// Everything addressed to this rank has been applied and recorded, and
+	// no member can issue again until the barrier releases it — retire the
+	// whole target-side window before publishing completion.
+	if c := e.ck(); c != nil {
+		c.rec.RetireTarget(e.proc.Rank())
+	}
+	e.advanceEpochs(members)
 	comm.Barrier()
 	return nil
 }
@@ -158,6 +168,9 @@ func (e *Engine) Order(comm *runtime.Comm, trank int) error {
 	for _, world := range targets {
 		e.flushTarget(world)
 	}
+	// Operations issued after the Order are synchronization-separated from
+	// those before it; give them a fresh checker epoch.
+	e.advanceEpochs(targets)
 	if e.proc.NIC().Endpoint().Ordered() {
 		return nil // the network orders per-pair traffic already
 	}

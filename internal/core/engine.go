@@ -39,7 +39,7 @@ const (
 	hHandle = 0 // target_mem handle (kPut/kGet/kRMW); expected count (kProbe); AM id (kAM)
 	hDisp   = 1 // byte displacement into the target memory
 	hCount  = 2 // target datatype count
-	hMeta   = 3 // attrs (low 16) | AccOp<<16 | RMW sub-op<<24
+	hMeta   = 3 // attrs (low 16) | AccOp<<16 | RMW sub-op<<24 | checker epoch<<32
 	hReq    = 4 // origin request id (routing for replies)
 	hSeq    = 5 // ordered-stream sequence number (0 = not ordered)
 )
@@ -122,6 +122,7 @@ type originTarget struct {
 	singleton    int64  // of sent: ops that paid their own wire message
 	willConfirm  int64  // ops whose application will report a delivery counter (notify, remote-complete, batch, reply-carrying ops)
 	orderSeq     uint64 // ordered-stream sequence for AttrOrdering on unordered networks
+	chkEpoch     uint64 // synchronization epoch stamped on issued ops (advanced by Order/Complete; read by the semantic checker)
 	fencePending bool   // an Order() is pending; next op must stall for drain
 }
 
@@ -203,6 +204,11 @@ type Engine struct {
 	// completion path does one atomic load, not a registry lookup.
 	tel atomic.Pointer[telemetry.Registry]
 	lat atomic.Pointer[latencyHists]
+
+	// chk is the semantic checker's access observer (see checkerhook.go);
+	// nil outside debugging runs, and the disabled hot path pays exactly
+	// one atomic load per apply.
+	chk atomic.Pointer[recorderCell]
 
 	// Counters.
 	OpsIssued      stats.Counter

@@ -174,6 +174,18 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 			} else {
 				e.notifyDeposit(m.Src, m.Hdr[hHandle], disp, datatype.ExtentOf(tcount, tdt))
 			}
+			if c := e.ck(); c != nil {
+				kind := AccessPut
+				if accOp != AccNone && accOp != AccReplace {
+					kind = AccessAcc
+				}
+				c.rec.RecordAccess(Access{
+					Origin: m.Src, Target: e.proc.Rank(), Handle: m.Hdr[hHandle],
+					Disp: disp, Len: datatype.ExtentOf(tcount, tdt),
+					Kind: kind, Atomic: atomic, Ordered: attrs&AttrOrdering != 0,
+					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
+				})
+			}
 			e.finishApply(m, attrs, atomic, end)
 		})
 	})
@@ -205,6 +217,14 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 			if err != nil {
 				e.proc.NIC().BadReq.Inc()
 				wire = nil
+			}
+			if c := e.ck(); c != nil {
+				c.rec.RecordAccess(Access{
+					Origin: m.Src, Target: e.proc.Rank(), Handle: m.Hdr[hHandle],
+					Disp: disp, Len: datatype.ExtentOf(tcount, tdt),
+					Kind: AccessGet, Atomic: atomic, Ordered: attrs&AttrOrdering != 0,
+					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
+				})
 			}
 			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), atomic, end)
 			reply := newMsg(m.Src, kGetReply)

@@ -53,9 +53,10 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 		return 0, err
 	}
 
-	var seq uint64
+	var seq, epoch uint64
 	e.mu.Lock()
 	ts := e.targetLocked(target)
+	epoch = ts.chkEpoch
 	ts.sent++
 	ts.singleton++
 	ts.willConfirm++ // the old-value reply carries the delivery counter
@@ -75,7 +76,7 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	m := newMsg(target, kRMW)
 	m.Hdr[hHandle] = tm.Handle
 	m.Hdr[hDisp] = uint64(tdisp)
-	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(subop)<<24
+	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(subop)<<24 | (epoch&0xffffffff)<<32
 	m.Hdr[hReq] = req.id
 	m.Hdr[hSeq] = seq
 	m.Payload = operand
@@ -137,6 +138,14 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 				if err != nil {
 					ok = false
 				}
+			}
+			if c := e.ck(); c != nil && exp != nil {
+				c.rec.RecordAccess(Access{
+					Origin: m.Src, Target: e.proc.Rank(), Handle: m.Hdr[hHandle],
+					Disp: disp, Len: 8,
+					Kind: AccessRMW, Atomic: true, Ordered: attrs&AttrOrdering != 0,
+					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
+				})
 			}
 			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end)
 			reply := newMsg(m.Src, kRMWReply)

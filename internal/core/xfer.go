@@ -168,9 +168,10 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 
 	// Ordered-stream sequence number, only needed when the network itself
 	// does not order messages (the Figure 2 "ordering is free" case).
-	var seq uint64
+	var seq, epoch uint64
 	e.mu.Lock()
 	ts := e.targetLocked(target)
+	epoch = ts.chkEpoch
 	ts.sent++
 	ts.singleton++
 	if op == OpGet || attrs&(AttrRemoteComplete|AttrNotify) != 0 {
@@ -227,7 +228,7 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	m.Hdr[hHandle] = tm.Handle
 	m.Hdr[hDisp] = uint64(tdisp)
 	m.Hdr[hCount] = uint64(tcount)
-	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(accOp)<<16
+	m.Hdr[hMeta] = uint64(attrs)&0xffff | uint64(accOp)<<16 | (epoch&0xffffffff)<<32
 	m.Hdr[hReq] = req.id
 	m.Hdr[hSeq] = seq
 

@@ -30,6 +30,14 @@ func (w *Win) Fence() error {
 		return err
 	}
 	w.resetOverlapEpoch()
+	if w.rma.opts.DetectOverlap {
+		// CompleteCollective's barrier already released the other members:
+		// a fast origin could have a new-epoch store applied here before
+		// the reset above ran, and the reset would wipe it. A second
+		// barrier keeps every member out of the new epoch until every
+		// ledger is clear; only paid when overlap detection is on.
+		w.comm.Barrier()
+	}
 	w.rma.Fences.Inc()
 	w.mu.Lock()
 	w.epoch.fenceOpen = true

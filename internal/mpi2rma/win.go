@@ -306,6 +306,10 @@ func (w *Win) Put(origin memsim.Region, ocount int, odt datatype.Type, trank, td
 	if err := w.accessAllowed(trank); err != nil {
 		return err
 	}
+	// MPI-2 puts have no per-operation completion: the epoch-closing call
+	// (Fence, Complete, Unlock) completes every pending operation at the
+	// engine level, so the request is deliberately dropped here.
+	//rmalint:ignore lostrequest completion happens at the epoch-closing synchronization
 	_, err := w.rma.eng.Put(origin, ocount, odt, w.tms[trank], tdisp, tcount, tdt, trank, w.comm, core.AttrNone)
 	return err
 }
@@ -331,6 +335,8 @@ func (w *Win) Accumulate(op core.AccOp, origin memsim.Region, ocount int, odt da
 	if err := w.accessAllowed(trank); err != nil {
 		return err
 	}
+	// As with Put: MPI-2 accumulates complete at the epoch-closing call.
+	//rmalint:ignore lostrequest completion happens at the epoch-closing synchronization
 	_, err := w.rma.eng.Accumulate(op, origin, ocount, odt, w.tms[trank], tdisp, tcount, tdt, trank, w.comm, core.AttrNone)
 	return err
 }

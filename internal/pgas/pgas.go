@@ -153,6 +153,9 @@ func (s *Space) WriteFrom(g GlobalPtr, src memsim.Region, srcOff, n int, mode Mo
 		return err
 	}
 	sub := memsim.Region{Offset: src.Offset + srcOff, Size: n}
+	// Both consistency modes compile to attrs carrying AttrBlocking (see
+	// Mode.attrs), so the call completes before returning.
+	//rmalint:ignore lostrequest every Mode folds in AttrBlocking
 	_, err := s.eng.Put(sub, n, datatype.Byte, s.tms[g.Rank], g.Offset, n, datatype.Byte, g.Rank, s.comm, mode.attrs())
 	return err
 }

@@ -21,6 +21,7 @@ type config struct {
 	metrics  bool
 	tracing  bool
 	traceCap int
+	checker  bool
 }
 
 func buildConfig(opts []Option) config {
@@ -140,4 +141,17 @@ func WithMetrics() Option {
 // an already-installed tracer is kept.
 func WithTracing(capacity int) Option {
 	return func(c *config) { c.tracing, c.traceCap = true, capacity }
+}
+
+// WithChecker enables the RMA semantic checker at Open: every
+// remotely-applied access is recorded as a byte interval on its target
+// exposure, and pairs of overlapping accesses not separated by a
+// synchronization call (and not both atomic) are reported as conflicts —
+// the MPI-3 overlapping-access rules, checked dynamically. The checker is
+// shared by all ranks of the world, so cross-rank conflicts are visible;
+// read results with Session.Checker(). Like WithMetrics it is honoured by
+// any Open of the rank. When not enabled, transfer hot paths pay one
+// atomic load and allocate nothing.
+func WithChecker() Option {
+	return func(c *config) { c.checker = true }
 }

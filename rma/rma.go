@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 
+	"mpi3rma/internal/checker"
 	"mpi3rma/internal/core"
 	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/memsim"
@@ -47,6 +48,13 @@ type (
 	Region    = memsim.Region
 	Type      = datatype.Type
 	AccOp     = core.AccOp
+)
+
+// Semantic-checker types (see WithChecker): Checker collects Conflicts —
+// pairs of overlapping accesses no synchronization separates.
+type (
+	Checker  = checker.Checker
+	Conflict = checker.Conflict
 )
 
 // Predefined datatypes.
@@ -128,6 +136,9 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 	if cfg.tracing && s.eng.Tracer() == nil {
 		s.eng.SetTracer(trace.New(cfg.traceCap))
 	}
+	if cfg.checker {
+		s.eng.SetAccessRecorder(checker.ForWorld(p.NIC().Endpoint().Network()))
+	}
 	return s
 }
 
@@ -151,6 +162,15 @@ func (s *Session) Metrics() *telemetry.Registry {
 // was never enabled (see WithTracing).
 func (s *Session) Tracer() *trace.Ring {
 	return s.eng.Tracer()
+}
+
+// Checker returns the world-shared semantic checker, or nil when
+// WithChecker was never passed to an Open on this rank. Every rank that
+// enabled checking sees the same instance, so any rank can collect the
+// world's conflicts after a CompleteCollective.
+func (s *Session) Checker() *checker.Checker {
+	c, _ := s.eng.AccessRecorder().(*checker.Checker)
+	return c
 }
 
 // DumpTimeline writes this rank's recorded protocol events to w in
