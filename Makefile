@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet lint test race smoke smoke-metrics bench
+.PHONY: check build vet lint test race smoke smoke-metrics chaos bench
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
-# proving batching still pays, and a telemetry smoke run proving the JSON
-# exporters parse.
-check: lint build test race smoke smoke-metrics
+# proving batching still pays, a telemetry smoke run proving the JSON
+# exporters parse, and the seeded chaos fault matrix under the race
+# detector.
+check: lint build test race smoke smoke-metrics chaos
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,13 @@ smoke:
 # rmabench validates the metrics and trace JSON re-parse before exiting 0.
 smoke-metrics:
 	$(GO) run ./cmd/rmabench -exp fig2 -metrics -trace /tmp/rmabench-fig2-trace.json > /dev/null
+
+# chaos runs the seeded fault-matrix harness under the race detector:
+# reliable delivery must converge byte-exactly with the fault-free run,
+# retransmissions must actually happen, and an exhausted retry budget
+# must surface ErrLinkFailed instead of hanging.
+chaos:
+	$(GO) test -race -count=1 -run 'FaultChaos|LinkFailed|ChaosSmoke|Relay|FacadeWithFaults|FacadeLinkFailure' ./internal/core/ ./internal/bench/ ./internal/portals/ ./rma/
 
 bench:
 	$(GO) run ./cmd/rmabench

@@ -8,6 +8,9 @@
 //	rmabench -exp e13 -metrics -trace e13-trace.json
 //	                         # telemetry sidecars: metrics JSON on stdout,
 //	                         # merged protocol timeline + spans to a file
+//	rmabench -chaos          # seeded fault-matrix chaos run (same as
+//	                         # -exp chaos): byte-exact convergence under
+//	                         # drops, duplicates, delays and corruption
 //	rmabench -list           # list experiment ids
 //
 // Experiment ids and what they reproduce are catalogued in DESIGN.md; the
@@ -32,11 +35,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect telemetry and print each experiment's metrics snapshot as JSON")
 	traceOut := flag.String("trace", "", "collect telemetry and write the merged trace timeline + spans JSON to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	chaos := flag.Bool("chaos", false, "run the seeded chaos fault matrix (shorthand for -exp chaos)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
+	}
+	if *chaos {
+		*exp = "chaos"
 	}
 	if *metrics || *traceOut != "" {
 		bench.SetTelemetry(true)

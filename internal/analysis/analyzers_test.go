@@ -21,6 +21,14 @@ func TestAttrMisuse(t *testing.T) {
 	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/attrmisuse")
 }
 
+// TestAttrMisuseRetryPolicy pins the no-op retry-policy combination: a
+// package that tunes the relay but never installs a fault plan is
+// flagged; one that pairs it with WithFaults anywhere is clean.
+func TestAttrMisuseRetryPolicy(t *testing.T) {
+	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/retrymisuse")
+	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/retryok")
+}
+
 func TestBoundsCheck(t *testing.T) {
 	RunGolden(t, BoundsCheckAnalyzer, "mpi3rma/internal/analysis/testdata/src/boundscheck")
 }

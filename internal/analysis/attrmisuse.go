@@ -13,7 +13,9 @@ var AttrMisuseAnalyzer = &Analyzer{
 	Doc: "finds rma option misuse: session-only options passed to transfer\n" +
 		"calls (silently ignored), duplicate options, WithNotify on PutNotify,\n" +
 		"attribute no-ops on RMW and Get calls, options WithStrictDebug already\n" +
-		"implies, and WithTargetLayout at Open.",
+		"implies, WithTargetLayout at Open, and WithRetryPolicy in a package\n" +
+		"that never installs a fault plan (the relay never retransmits on the\n" +
+		"lossless default wire).",
 	Run: runAttrMisuse,
 }
 
@@ -27,6 +29,8 @@ var sessionOnly = map[string]string{
 	"WithMetrics":         "telemetry is enabled at Open",
 	"WithTracing":         "tracing is enabled at Open",
 	"WithChecker":         "the semantic checker is enabled at Open",
+	"WithFaults":          "fault injection is installed at Open",
+	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",
 }
 
 // optionTakers maps facade calls that accept options to their kind.
@@ -42,6 +46,7 @@ var optionTakers = map[string]string{
 }
 
 func runAttrMisuse(pass *Pass) {
+	faults := packageInstallsFaults(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -53,13 +58,44 @@ func runAttrMisuse(pass *Pass) {
 			if !ok {
 				return true
 			}
-			checkOptions(pass, kind, fn.Name(), call)
+			checkOptions(pass, kind, fn.Name(), call, faults)
 			return true
 		})
 	}
 }
 
-func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr) {
+// packageInstallsFaults pre-scans the package for any way a fault plan
+// can reach the network: rma.WithFaults, a SetFaults call, or a Faults
+// field in a composite literal (runtime.Config{Faults: ...}). When none
+// exists, WithRetryPolicy configures a relay that never retransmits —
+// the no-op combination checkOptions flags.
+func packageInstallsFaults(pass *Pass) bool {
+	found := false
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := callee(pass.TypesInfo, n)
+				if fn != nil && (funcKey(fn) == rmaPath+".WithFaults" || fn.Name() == "SetFaults") {
+					found = true
+					return false
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Faults" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr, faults bool) {
 	seen := map[string]bool{}
 	strict := false
 	for _, opt := range optionCalls(pass.TypesInfo, call.Args) {
@@ -81,6 +117,9 @@ func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr) {
 		case "open":
 			if name == "WithTargetLayout" {
 				pass.Reportf(opt.Pos(), "WithTargetLayout is meaningless at Open: the target layout belongs to an individual transfer call")
+			}
+			if name == "WithRetryPolicy" && !faults {
+				pass.Reportf(opt.Pos(), "WithRetryPolicy without a fault plan anywhere in this package: the relay never retransmits on the lossless default wire (pair it with WithFaults or install a FaultPlan)")
 			}
 		case "putnotify":
 			if name == "WithNotify" {

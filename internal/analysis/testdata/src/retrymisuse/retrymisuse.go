@@ -1,0 +1,21 @@
+// Package retrymisuse is the golden input for the attrmisuse retry-policy
+// check: nothing in this package ever installs a fault plan, so enabling
+// the reliable-delivery relay is a no-op combination — it retransmits
+// only on a faulty wire, and this wire is lossless.
+package retrymisuse
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func retryWithoutFaults(p *runtime.Proc) {
+	_ = rma.Open(p, rma.WithRetryPolicy(rma.RetryPolicy{Budget: 4})) // want "WithRetryPolicy without a fault plan anywhere in this package"
+}
+
+func retryOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithRetryPolicy(rma.RetryPolicy{}), rma.WithBlocking()) // want "WithRetryPolicy is ignored on Put"
+	_ = s.CompleteAll()
+}

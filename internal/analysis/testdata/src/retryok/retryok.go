@@ -1,0 +1,23 @@
+// Package retryok is the clean golden input for the attrmisuse
+// retry-policy check: the package installs a fault plan, so tuning the
+// relay's retry policy is meaningful and nothing is reported.
+package retryok
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+var plan = &rma.FaultPlan{Seed: 1, Default: rma.LinkFaults{Drop: 0.1}}
+
+func retryWithFaultsSameCall(p *runtime.Proc) {
+	_ = rma.Open(p,
+		rma.WithFaults(plan),
+		rma.WithRetryPolicy(rma.RetryPolicy{Budget: 4}))
+}
+
+func retryAlone(p *runtime.Proc) {
+	// Fine: another Open in this package installs the plan (SPMD ranks
+	// often split the configuration across helpers).
+	_ = rma.Open(p, rma.WithRetryPolicy(rma.RetryPolicy{Budget: 4}))
+}

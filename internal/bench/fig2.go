@@ -114,6 +114,13 @@ type PutsCompleteOutcome struct {
 	// Batches, Notifies and FastPaths describe the batching/notified-
 	// completion machinery, summed over the origins.
 	Batches, Notifies, FastPaths int64
+	// Retries, RetransmitBytes, DupDropped and CorruptRejected describe
+	// the reliable-delivery relay, non-zero only when a fault plan or
+	// retry policy is installed via WorldConfig.
+	Retries, RetransmitBytes, DupDropped, CorruptRejected int64
+	// FaultsInjected totals the drops, duplicates, delays and corruptions
+	// the fault plan injected.
+	FaultsInjected int64
 	// Telemetry is the cell's merged metrics/trace sidecar, non-nil only
 	// when harness telemetry is on (SetTelemetry).
 	Telemetry *TelemetrySummary
@@ -248,6 +255,12 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	out.Bytes = w.Net().Bytes.Value()
 	out.LogicalOps = w.Net().LogicalOps.Value()
 	out.SoftAcks = softAckTotal(w)
+	out.Retries = w.Net().Retries.Value()
+	out.RetransmitBytes = w.Net().RetransmitBytes.Value()
+	out.DupDropped = w.Net().DupDropped.Value()
+	out.CorruptRejected = w.Net().CorruptRejected.Value()
+	out.FaultsInjected = w.Net().FaultsDropped.Value() + w.Net().FaultsDuplicated.Value() +
+		w.Net().FaultsDelayed.Value() + w.Net().FaultsCorrupted.Value()
 	out.Telemetry = col.summary()
 	return out
 }

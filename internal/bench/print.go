@@ -179,6 +179,8 @@ func ByName(name string) (Result, bool) {
 		return RunE12(), true
 	case "e13":
 		return RunE13(), true
+	case "chaos":
+		return RunChaos(), true
 	default:
 		return Result{}, false
 	}
@@ -186,5 +188,5 @@ func ByName(name string) (Result, bool) {
 
 // Names lists the experiment ids ByName accepts.
 func Names() []string {
-	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "chaos"}
 }

@@ -64,7 +64,7 @@ func (e *Engine) InvokeAM(id uint64, payload []byte, trank int, comm *runtime.Co
 	e.OpsIssued.Inc()
 	e.SingletonOps.Inc()
 
-	req := e.newRequest()
+	req := e.newRequest(target)
 	m := newMsg(target, kAM)
 	m.Hdr[hHandle] = id
 	m.Hdr[hMeta] = uint64(attrs) & 0xffff

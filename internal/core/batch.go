@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -65,9 +66,11 @@ type issueRing struct {
 }
 
 // pendingBatch routes a batch's notification to the remote-completion
-// requests of its member operations.
+// requests of its member operations. target lets a link failure find and
+// fail the batches that will never be notified.
 type pendingBatch struct {
-	reqs []*Request
+	target int
+	reqs   []*Request
 }
 
 // Batch payload op flags.
@@ -126,7 +129,7 @@ func (e *Engine) appendBatch(accOp AccOp, scale float64, origin memsim.Region, o
 		wirePool.Put(wire)
 		return nil, err
 	}
-	req := e.newRequest()
+	req := e.newRequest(tm.Owner)
 	bop := batchOp{
 		handle:  tm.Handle,
 		disp:    tdisp,
@@ -254,7 +257,7 @@ func (e *Engine) flushTarget(world int) {
 	if len(rcReqs) > 0 {
 		// Registered before the send so the notification cannot race past.
 		e.cmplMu.Lock()
-		e.pendingBatches[id] = &pendingBatch{reqs: rcReqs}
+		e.pendingBatches[id] = &pendingBatch{target: world, reqs: rcReqs}
 		e.cmplMu.Unlock()
 	}
 
@@ -266,13 +269,17 @@ func (e *Engine) flushTarget(world int) {
 	m.Ops = len(ops)
 	m.Payload = buf
 	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
-		// The world is shutting down: the aggregate is lost, but nothing
-		// may be left hanging on it.
+		// Either the world is shutting down or the link has failed; the
+		// aggregate is lost, but nothing may be left hanging on it.
 		e.cmplMu.Lock()
 		delete(e.pendingBatches, id)
 		e.cmplMu.Unlock()
 		for _, r := range rcReqs {
-			r.complete(e.proc.Now(), nil)
+			if errors.Is(err, ErrLinkFailed) {
+				r.completeErr(e.proc.Now(), fmt.Errorf("core: batch to rank %d: %w", world, err))
+			} else {
+				r.complete(e.proc.Now(), nil)
+			}
 		}
 		return
 	}
@@ -593,16 +600,21 @@ func (e *Engine) tryConfirmed(target int, threshold int64) (vtime.Time, bool) {
 // waitConfirmed blocks until the target's confirmation counter reaches
 // threshold, returning the virtual time of the confirming report. Callers
 // must have established that every outstanding operation reports a counter
-// (willConfirm >= sent), or the wait could hang. Under the progress
-// serializer the waiter drains its own deferred queue, like
-// waitAppliedFrom.
-func (e *Engine) waitConfirmed(target int, threshold int64) vtime.Time {
+// (willConfirm >= sent), or the wait could hang. A failed link to the
+// target ends the wait with the wrapped ErrLinkFailed instead: the
+// missing confirmations will never arrive. Under the progress serializer
+// the waiter drains its own deferred queue, like waitAppliedFrom.
+func (e *Engine) waitConfirmed(target int, threshold int64) (vtime.Time, error) {
 	for {
 		e.cmplMu.Lock()
 		if e.confirmed[target] >= threshold {
 			at := e.confirmedAt[target]
 			e.cmplMu.Unlock()
-			return at
+			return at, nil
+		}
+		if err := e.failedLinks[target]; err != nil {
+			e.cmplMu.Unlock()
+			return 0, err
 		}
 		if e.progQ == nil {
 			e.cmplCond.Wait()

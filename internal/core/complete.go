@@ -59,7 +59,10 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 			if will >= sent {
 				// Every outstanding operation reports a delivery counter;
 				// ride the notifications instead of probing.
-				at := e.waitConfirmed(world, sent)
+				at, err := e.waitConfirmed(world, sent)
+				if err != nil {
+					return fmt.Errorf("core: complete: %w", err)
+				}
 				e.FastPaths.Inc()
 				e.proc.NIC().CPU().AdvanceTo(at)
 				if t := e.tr(); t != nil {
@@ -79,6 +82,13 @@ func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
 		reqs = append(reqs, r)
 	}
 	WaitAll(reqs...)
+	// A probe whose link failed completes with the error instead of an
+	// answer; completion cannot be claimed then.
+	for _, r := range reqs {
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("core: complete: %w", err)
+		}
+	}
 	// Every covered op is now applied at its target, so the checker can
 	// retire this origin's accesses there; later ops get a fresh epoch.
 	e.retireOrigin(targets)
@@ -137,7 +147,10 @@ func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 
 	// Wait locally for everything addressed to us, then barrier so every
 	// member's wait has finished before anyone proceeds.
-	at := e.waitAppliedFrom(members, expected)
+	at, err := e.waitAppliedFrom(members, expected)
+	if err != nil {
+		return fmt.Errorf("core: collective completion: %w", err)
+	}
 	e.proc.NIC().CPU().AdvanceTo(at)
 	// Everything addressed to this rank has been applied and recorded, and
 	// no member can issue again until the barrier releases it — retire the
@@ -209,7 +222,7 @@ func (e *Engine) resolveTargets(comm *runtime.Comm, trank int) ([]int, error) {
 // request its reply completes. A failed send means the world is shutting
 // down; the error is reported rather than crashing the caller.
 func (e *Engine) sendProbe(world int, threshold int64) (*Request, error) {
-	req := e.newRequest()
+	req := e.newRequest(world)
 	m := newMsg(world, kProbe)
 	m.Hdr[hHandle] = uint64(threshold)
 	m.Hdr[hReq] = req.id
@@ -255,7 +268,11 @@ func (e *Engine) maybeFence(comm *runtime.Comm, world int) error {
 			return nil
 		}
 		if will >= sent {
-			e.proc.NIC().CPU().AdvanceTo(e.waitConfirmed(world, sent))
+			at, err := e.waitConfirmed(world, sent)
+			if err != nil {
+				return fmt.Errorf("core: fence: %w", err)
+			}
+			e.proc.NIC().CPU().AdvanceTo(at)
 			return nil
 		}
 	}
@@ -264,5 +281,8 @@ func (e *Engine) maybeFence(comm *runtime.Comm, world int) error {
 		return err
 	}
 	r.Wait()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: fence: %w", err)
+	}
 	return nil
 }

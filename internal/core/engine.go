@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	gort "runtime"
 	"sync"
 	"sync/atomic"
@@ -167,6 +168,12 @@ type Engine struct {
 	confirmed      map[int]int64
 	confirmedAt    map[int]vtime.Time
 	pendingBatches map[uint64]*pendingBatch
+	// failedLinks records links whose reliable-delivery retry budget ran
+	// out (graceful degradation: requests to those targets fail with
+	// ErrLinkFailed instead of waiting forever); linkErr is the first such
+	// failure, reported sticky by Err().
+	failedLinks map[int]error
+	linkErr     error
 
 	// Target-side state, guarded by tgtMu because applies may run on the
 	// NIC agent, the thread serializer, or a Progress call. tgtCond wakes
@@ -249,6 +256,7 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 			confirmed:      make(map[int]int64),
 			confirmedAt:    make(map[int]vtime.Time),
 			pendingBatches: make(map[uint64]*pendingBatch),
+			failedLinks:    make(map[int]error),
 			applied:        make(map[int]int64),
 			reorder:        make(map[int]*reorderBuf),
 			lanes:          make(map[int]*vtime.Clock),
@@ -278,6 +286,12 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 		nic.RegisterHandler(kAM, e.handleAM)
 		nic.RegisterHandler(kBatch, e.handleBatch)
 		nic.RegisterHandler(kNotify, e.handleNotify)
+		nic.SetLinkFailureHandler(e.onLinkFailed)
+		nic.SetRetransmitObserver(func(dst int, rseq uint64, attempt int, at vtime.Time) {
+			if t := e.tr(); t != nil {
+				t.RecordOpf(at, "retransmit", dst, rseq, "attempt=%d", attempt)
+			}
+		})
 		return e
 	}).(*Engine)
 }
@@ -387,11 +401,16 @@ func (e *Engine) noteApplied(src int, at vtime.Time) int64 {
 // waitAppliedFrom blocks until the total applied count from the given
 // world ranks reaches expected, returning the virtual time of the last
 // application. The collective-completion fast path uses it in place of
-// per-origin probe round trips. Under the progress serializer the waiter
-// must drain its own deferred queue (it is inside the library, so it IS
-// the progress engine).
-func (e *Engine) waitAppliedFrom(origins []int, expected int64) vtime.Time {
+// per-origin probe round trips. If any of this rank's links has failed
+// the wait aborts with the wrapped ErrLinkFailed — a degraded world
+// cannot promise collective completion. Under the progress serializer the
+// waiter must drain its own deferred queue (it is inside the library, so
+// it IS the progress engine).
+func (e *Engine) waitAppliedFrom(origins []int, expected int64) (vtime.Time, error) {
 	for {
+		if err := e.Err(); err != nil {
+			return 0, err
+		}
 		e.tgtMu.Lock()
 		var total int64
 		for _, o := range origins {
@@ -400,7 +419,7 @@ func (e *Engine) waitAppliedFrom(origins []int, expected int64) vtime.Time {
 		if total >= expected {
 			at := e.lastApplied
 			e.tgtMu.Unlock()
-			return at
+			return at, nil
 		}
 		if e.progQ == nil {
 			e.tgtCond.Wait()
@@ -459,9 +478,65 @@ func (e *Engine) sendReply(at vtime.Time, m *simnet.Message) {
 
 // sendReplyNIC is sendReply through the NIC-generated (hardware) path.
 func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
-	if _, err := e.proc.NIC().Endpoint().SendNIC(at, m); err != nil {
+	if _, err := e.proc.NIC().SendNIC(at, m); err != nil {
 		e.proc.NIC().BadReq.Inc()
 	}
+}
+
+// Err reports the engine's sticky failure: non-nil once any link's retry
+// budget has been exhausted. Individual operations to the failed target
+// return (or complete their requests with) an error wrapping
+// ErrLinkFailed; Err lets callers distinguish a degraded session without
+// tracking every request.
+func (e *Engine) Err() error {
+	e.cmplMu.Lock()
+	defer e.cmplMu.Unlock()
+	return e.linkErr
+}
+
+// onLinkFailed is the NIC's link-failure callback: the reliable-delivery
+// relay exhausted its retry budget toward dst. Completion waits on that
+// target can never be satisfied, so every outstanding request and pending
+// batch targeting dst is failed with the wrapped ErrLinkFailed, and
+// waiters on the confirmation counters are woken to observe the failure.
+func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
+	err := fmt.Errorf("core: %w", cause)
+
+	e.cmplMu.Lock()
+	if _, dup := e.failedLinks[dst]; dup {
+		e.cmplMu.Unlock()
+		return
+	}
+	e.failedLinks[dst] = err
+	if e.linkErr == nil {
+		e.linkErr = err
+	}
+	var victims []*Request
+	for id, pb := range e.pendingBatches {
+		if pb.target != dst {
+			continue
+		}
+		delete(e.pendingBatches, id)
+		victims = append(victims, pb.reqs...)
+	}
+	e.cmplCond.Broadcast()
+	e.cmplMu.Unlock()
+
+	e.mu.Lock()
+	for _, r := range e.reqs {
+		if r.target == dst {
+			victims = append(victims, r)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range victims {
+		r.completeErr(at, err)
+	}
+	// Wake target-side waiters too (collective completion): they re-check
+	// under waitConfirmed/waitAppliedFrom and observe the failure there.
+	e.tgtMu.Lock()
+	e.tgtCond.Broadcast()
+	e.tgtMu.Unlock()
 }
 
 // sendProbeAck answers a completion probe at virtual time at. The answer

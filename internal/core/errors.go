@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"mpi3rma/internal/portals"
+)
 
 // Sentinel errors of the RMA engine. Every error returned by the engine
 // (and by the MPI-2 layer in internal/mpi2rma, which shares this
@@ -28,3 +32,10 @@ var (
 	ErrType      = errors.New("incompatible type signature")
 	ErrEpoch     = errors.New("synchronization epoch violation")
 )
+
+// ErrLinkFailed is the graceful-degradation sentinel: the reliable-
+// delivery relay exhausted its retry budget toward a target, so requests
+// addressing it fail instead of waiting for acknowledgements that will
+// never come. It is portals.ErrLinkFailed re-exported so engine callers
+// classify transport failures without importing the transport.
+var ErrLinkFailed = portals.ErrLinkFailed

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/vtime"
 )
@@ -17,7 +19,7 @@ import (
 // acquireLock blocks until the target's process-level lock is granted to
 // this rank.
 func (e *Engine) acquireLock(world int) error {
-	req := e.newRequest()
+	req := e.newRequest(world)
 	m := newMsg(world, kLockReq)
 	m.Hdr[hReq] = req.id
 	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
@@ -25,6 +27,9 @@ func (e *Engine) acquireLock(world int) error {
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)
 	req.Wait()
+	if err := req.Err(); err != nil {
+		return fmt.Errorf("core: lock of rank %d: %w", world, err)
+	}
 	return nil
 }
 

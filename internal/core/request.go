@@ -14,6 +14,9 @@ import (
 type Request struct {
 	e  *Engine
 	id uint64
+	// target is the world rank the operation addresses, so a link failure
+	// can find and fail the requests that will never complete.
+	target int
 
 	mu   sync.Mutex
 	done bool
@@ -39,8 +42,8 @@ type Request struct {
 // events carry, for correlating spans across ranks.
 func (r *Request) ID() uint64 { return r.id }
 
-func (e *Engine) newRequest() *Request {
-	r := &Request{e: e}
+func (e *Engine) newRequest(target int) *Request {
+	r := &Request{e: e, target: target}
 	e.mu.Lock()
 	e.reqSeq++
 	r.id = e.reqSeq

@@ -68,7 +68,7 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	e.OpsIssued.Inc()
 	e.SingletonOps.Inc()
 
-	req := e.newRequest()
+	req := e.newRequest(target)
 	if e.lat.Load() != nil {
 		req.latKind = latRMW
 		req.issuedAt = e.proc.Now()
@@ -95,6 +95,9 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 		t.RecordOpf(m.SentAt, "issue", target, req.id, "rmw subop=%d arrive=%d", subop, m.ArriveAt)
 	}
 	req.Wait()
+	if err := req.Err(); err != nil {
+		return 0, fmt.Errorf("core: RMW: %w", err)
+	}
 	val := req.Value()
 	if len(val) != 8 {
 		return 0, fmt.Errorf("core: RMW failed at the target (unexposed or out-of-range memory): %w", ErrBadHandle)

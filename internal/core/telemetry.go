@@ -101,6 +101,14 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) *telemetry.Registry {
 	reg.Register("net.msgs", &net.Msgs)
 	reg.Register("net.logical_ops", &net.LogicalOps)
 	reg.Register("net.bytes", &net.Bytes)
+	reg.Register("net.retries", &net.Retries)
+	reg.Register("net.retransmit_bytes", &net.RetransmitBytes)
+	reg.Register("net.dup_dropped", &net.DupDropped)
+	reg.Register("net.corrupt_rejected", &net.CorruptRejected)
+	reg.Register("net.faults_injected.dropped", &net.FaultsDropped)
+	reg.Register("net.faults_injected.duplicated", &net.FaultsDuplicated)
+	reg.Register("net.faults_injected.delayed", &net.FaultsDelayed)
+	reg.Register("net.faults_injected.corrupted", &net.FaultsCorrupted)
 
 	e.lat.Store(&latencyHists{
 		put:      reg.Histogram("latency.put"),

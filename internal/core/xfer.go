@@ -187,7 +187,7 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	e.OpsIssued.Inc()
 	e.SingletonOps.Inc()
 
-	req := e.newRequest()
+	req := e.newRequest(target)
 	if e.lat.Load() != nil {
 		req.latKind = latKindOf(op)
 		req.issuedAt = e.proc.Now()

@@ -10,6 +10,7 @@ const (
 	KindPtlAck   uint8 = 2 // hardware acknowledgement of a put (remote completion)
 	KindPtlGet   uint8 = 3 // get request: no payload
 	KindPtlReply uint8 = 4 // get reply: payload carried back to origin MD
+	KindRelAck   uint8 = 5 // reliable-delivery acknowledgement (relay.go)
 
 	// KindRuntimeBase is the first kind owned by internal/runtime
 	// (point-to-point send/recv, barrier, collectives).

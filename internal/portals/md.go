@@ -290,11 +290,11 @@ func (n *NIC) handlePut(m *simnet.Message, at vtime.Time) {
 		ack.Hdr[hdrUser] = m.Hdr[hdrUser]
 		if n.cfg.HardwareAcks {
 			// The NIC generates the acknowledgement: wire time only.
-			_, _ = n.ep.SendNIC(at, ack)
+			_, _ = n.SendNIC(at, ack)
 		} else {
 			// Software echo: charged like any CPU-injected message.
 			n.SoftAcks.Inc()
-			_, _ = n.ep.Send(at, ack)
+			_, _ = n.Send(at, ack)
 		}
 	}
 }
@@ -336,7 +336,7 @@ func (n *NIC) handleGet(m *simnet.Message, at vtime.Time) {
 	reply.Hdr[hdrUser] = m.Hdr[hdrUser]
 	// Get replies are produced by the NIC (Portals firmware), not the
 	// target CPU.
-	_, _ = n.ep.SendNIC(at, reply)
+	_, _ = n.SendNIC(at, reply)
 }
 
 func (n *NIC) handleReply(m *simnet.Message, at vtime.Time) {

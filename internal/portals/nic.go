@@ -29,6 +29,7 @@ package portals
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpi3rma/internal/memsim"
 	"mpi3rma/internal/simnet"
@@ -73,6 +74,15 @@ type NIC struct {
 
 	quit chan struct{}
 	done chan struct{}
+
+	// relay is the transmit-side reliability engine (nil until
+	// EnableReliability); rx is the always-on receive-side state, touched
+	// only on the agent goroutine. linkFail and retransObs are the
+	// optional callbacks the layer above installs (see relay.go).
+	relay      atomic.Pointer[relay]
+	rx         map[int]*rxLink
+	linkFail   atomic.Pointer[func(dst int, at vtime.Time, err error)]
+	retransObs atomic.Pointer[func(dst int, rseq uint64, attempt int, at vtime.Time)]
 
 	// SoftAcks counts acknowledgements that had to be sent in software.
 	SoftAcks stats.Counter
@@ -149,9 +159,24 @@ func (n *NIC) RegisterHandler(k uint8, h Handler) {
 }
 
 // Send injects m at virtual time now and returns its arrival time at the
-// target NIC.
+// target NIC. With the reliable-delivery relay enabled the frame is
+// tracked and retransmitted until acknowledged; a send to a failed link
+// returns an error wrapping ErrLinkFailed.
 func (n *NIC) Send(now vtime.Time, m *simnet.Message) (vtime.Time, error) {
+	if r := n.relay.Load(); r != nil {
+		return r.send(now, m, false)
+	}
 	return n.ep.Send(now, m)
+}
+
+// SendNIC injects a NIC-generated control message (no origin CPU cost),
+// tracked by the relay when enabled. Layers must prefer this over the
+// raw Endpoint.SendNIC so their control traffic survives fault plans.
+func (n *NIC) SendNIC(at vtime.Time, m *simnet.Message) (vtime.Time, error) {
+	if r := n.relay.Load(); r != nil {
+		return r.send(at, m, true)
+	}
+	return n.ep.SendNIC(at, m)
 }
 
 // Stop terminates the agent goroutine. Messages still queued are left for
@@ -184,9 +209,29 @@ func (n *NIC) agent() {
 	}
 }
 
-// dispatch routes one message to its handler, parking it if the owning
-// layer has not registered the kind yet (or is still draining a backlog).
+// dispatch filters one arriving message through the reliable-delivery
+// layer — acks complete inflight frames, tracked frames are checksummed,
+// deduplicated and reassembled — before kind dispatch. Reception is
+// always on: tracked frames are admitted whether or not this rank
+// enabled its own transmit relay.
 func (n *NIC) dispatch(m *simnet.Message) {
+	if m.Kind == KindRelAck {
+		if r := n.relay.Load(); r != nil {
+			r.handleAck(m)
+		}
+		return
+	}
+	if m.RSeq != 0 {
+		n.rxAdmit(m)
+		return
+	}
+	n.dispatchKind(m)
+}
+
+// dispatchKind routes one admitted message to its handler, parking it if
+// the owning layer has not registered the kind yet (or is still draining
+// a backlog).
+func (n *NIC) dispatchKind(m *simnet.Message) {
 	n.mu.Lock()
 	h := n.handlers[m.Kind]
 	if h == nil || len(n.pending[m.Kind]) > 0 {

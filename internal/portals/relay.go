@@ -1,0 +1,489 @@
+package portals
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// Reliable delivery. simnet's FaultPlan can drop, duplicate, delay and
+// corrupt wire messages; this relay restores the exactly-once, per-link
+// FIFO view the protocol layers above were built on. The design follows
+// the classic NIC-firmware reliability engines (SeaStar, Quadrics Elan):
+//
+//   - The origin stamps every tracked frame with a per-(src,dst) sequence
+//     number (Message.RSeq) and a payload checksum (Message.Sum), keeps a
+//     private copy of the payload, and retransmits on timeout with
+//     exponential backoff + jitter until acknowledged or the retry budget
+//     is exhausted.
+//   - The receiver rejects corrupted frames by checksum (silently — the
+//     origin retransmits an intact copy), acknowledges and deduplicates by
+//     RSeq, and on ordered networks reassembles the per-link RSeq stream
+//     so retransmission cannot reorder what the wire promised to order.
+//   - Acknowledgements (KindRelAck) are themselves unreliable: a lost ack
+//     costs one spurious retransmission, which the receiver dedups and
+//     re-acks. Acks carry no payload, so payload corruption cannot touch
+//     them.
+//
+// Reception is always on — any frame with RSeq != 0 is checksummed,
+// deduplicated and acknowledged whether or not this rank enabled its own
+// transmit relay. SPMD startup is not synchronized: a fast origin may
+// have reliable frames in flight before the target's upper layers attach,
+// and those frames must still be admitted. Transmission is opt-in via
+// EnableReliability.
+//
+// Retransmission timers run in real time (a background ticker per NIC),
+// but every retransmitted frame is stamped with a deterministic virtual
+// send time: the original send time plus the accumulated virtual backoff.
+// Virtual-time results therefore do not depend on the host scheduler,
+// with one caveat documented in DESIGN.md §9: which retransmission
+// attempt first survives the fault plan can vary run to run, so workloads
+// validated under faults must converge independent of delivery order.
+
+// ErrLinkFailed is the sentinel wrapped into every error produced by an
+// exhausted retry budget: the relay declares the link down, fails the
+// frames in flight on it, and rejects new sends to that rank.
+var ErrLinkFailed = errors.New("link failed: retry budget exhausted")
+
+// RetryPolicy tunes the transmit side of the reliable-delivery relay.
+// Zero fields take the Default* constants.
+type RetryPolicy struct {
+	// Timeout is the virtual-time base retransmission timeout: attempt k
+	// (counting from 0) is stamped Timeout·Backoff^k after the previous
+	// transmission, plus jitter.
+	Timeout time.Duration
+	// Backoff is the exponential backoff factor (≥ 1).
+	Backoff float64
+	// Jitter is the maximum extra virtual delay per retransmission, as a
+	// fraction of Timeout, drawn from the relay's seeded generator.
+	Jitter float64
+	// Budget is how many retransmissions the relay attempts before
+	// declaring the link failed.
+	Budget int
+	// Window bounds how many out-of-order frames a receiver holds per
+	// link while reassembling the RSeq stream on ordered networks.
+	// Frames beyond the window are dropped unacknowledged (the origin
+	// retransmits them once the gap heals).
+	Window int
+	// Seed seeds the jitter generator. runtime and rma default it to the
+	// fault plan's seed so one seed reproduces a whole chaos run.
+	Seed int64
+}
+
+// Defaults for zero RetryPolicy fields.
+const (
+	DefaultRetryTimeout = 50 * time.Microsecond
+	DefaultRetryBackoff = 2.0
+	DefaultRetryJitter  = 0.25
+	DefaultRetryBudget  = 8
+	DefaultRetryWindow  = 256
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = DefaultRetryTimeout
+	}
+	if p.Backoff < 1 {
+		p.Backoff = DefaultRetryBackoff
+	}
+	if p.Jitter < 0 {
+		p.Jitter = DefaultRetryJitter
+	}
+	if p.Budget <= 0 {
+		p.Budget = DefaultRetryBudget
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultRetryWindow
+	}
+	return p
+}
+
+// castagnoli is the CRC-32C table used for payload checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the payload checksum the relay attaches to tracked
+// frames (CRC-32C; 0 for an empty payload).
+func Checksum(p []byte) uint32 {
+	if len(p) == 0 {
+		return 0
+	}
+	return crc32.Checksum(p, castagnoli)
+}
+
+// retransTick is the real-time pacing quantum of the retransmitter: due
+// frames are (re)examined this often. It bounds how stale a timeout check
+// can be, not the virtual-time stamps of retransmissions.
+const retransTick = time.Millisecond
+
+// retransRealBase is the real-time deadline of the first retransmission;
+// attempt k waits retransRealBase·Backoff^k, capped at retransRealCap.
+// Real deadlines only pace the host-time ticker — virtual stamps come
+// from RetryPolicy.Timeout.
+const (
+	retransRealBase = 2 * time.Millisecond
+	retransRealCap  = 100 * time.Millisecond
+)
+
+// txFrame is one unacknowledged tracked frame.
+type txFrame struct {
+	tmpl     simnet.Message // header template (payload stripped)
+	payload  []byte         // private master copy of the payload
+	vt       vtime.Time     // virtual send time of the latest transmission
+	attempts int            // retransmissions so far
+	due      time.Time      // real deadline of the next timeout check
+}
+
+// txLink is the transmit state toward one destination rank.
+type txLink struct {
+	nextSeq  uint64
+	inflight map[uint64]*txFrame
+	down     bool
+}
+
+// relay is a NIC's transmit-side reliability engine.
+type relay struct {
+	n   *NIC
+	pol RetryPolicy
+
+	mu    sync.Mutex
+	rng   *rand.Rand // jitter draws; guarded by mu
+	links map[int]*txLink
+}
+
+// dedupWindow tracks which RSeqs of one link have been delivered. It is
+// compact — a contiguous base plus a sparse set above it — and safe
+// across uint64 wraparound (comparisons are signed distances, so a
+// window that straddles 2^64 keeps working; the fuzz test pins this
+// against a map-based oracle).
+type dedupWindow struct {
+	// base: every RSeq in (base-2^63, base] has been delivered.
+	base uint64
+	// seen marks delivered RSeqs ahead of base.
+	seen map[uint64]bool
+}
+
+// dup reports whether seq was already delivered.
+func (w *dedupWindow) dup(seq uint64) bool {
+	return int64(seq-w.base) <= 0 || w.seen[seq]
+}
+
+// admit records seq as delivered, folding the sparse set into base when
+// the stream becomes contiguous. Callers check dup first.
+func (w *dedupWindow) admit(seq uint64) {
+	if seq == w.base+1 {
+		w.base++
+		for w.seen[w.base+1] {
+			w.base++
+			delete(w.seen, w.base)
+		}
+		return
+	}
+	if w.seen == nil {
+		w.seen = make(map[uint64]bool)
+	}
+	w.seen[seq] = true
+}
+
+// rxLink is the receive state from one source rank.
+type rxLink struct {
+	// win dedups delivered RSeqs; on ordered networks the stream is
+	// delivered contiguously so win.base alone carries the state.
+	win dedupWindow
+	// held parks out-of-order frames awaiting reassembly (ordered
+	// networks only), keyed by RSeq.
+	held map[uint64]*simnet.Message
+}
+
+// EnableReliability turns on the transmit relay: every subsequent
+// NIC.Send/NIC.SendNIC is sequence-stamped, checksummed and retransmitted
+// until acknowledged. The first call wins; later calls are no-ops (SPMD
+// ranks may all pass the same policy). Without it the send path pays one
+// atomic nil check and nothing else.
+func (n *NIC) EnableReliability(pol RetryPolicy) {
+	pol = pol.withDefaults()
+	r := &relay{
+		n:     n,
+		pol:   pol,
+		rng:   rand.New(rand.NewSource(pol.Seed + int64(n.ep.ID())*104729)),
+		links: make(map[int]*txLink),
+	}
+	if n.relay.CompareAndSwap(nil, r) {
+		go r.retransmitter()
+	}
+}
+
+// Reliable reports whether the transmit relay is enabled.
+func (n *NIC) Reliable() bool { return n.relay.Load() != nil }
+
+// SetLinkFailureHandler installs the callback invoked (once per failed
+// link, off the caller's goroutine) when a retry budget is exhausted.
+// The layer above uses it to fail outstanding requests instead of
+// waiting for acknowledgements that will never come.
+func (n *NIC) SetLinkFailureHandler(h func(dst int, at vtime.Time, err error)) {
+	n.linkFail.Store(&h)
+}
+
+// SetRetransmitObserver installs a callback invoked for every
+// retransmitted frame (telemetry feeds it into the trace timeline).
+func (n *NIC) SetRetransmitObserver(obs func(dst int, rseq uint64, attempt int, at vtime.Time)) {
+	n.retransObs.Store(&obs)
+}
+
+// link returns (creating if needed) the transmit state for dst. Caller
+// holds r.mu.
+func (r *relay) link(dst int) *txLink {
+	l := r.links[dst]
+	if l == nil {
+		l = &txLink{inflight: make(map[uint64]*txFrame)}
+		r.links[dst] = l
+	}
+	return l
+}
+
+// send tracks m and transmits it, via the CPU injection path (viaNIC
+// false: charges origin overhead and gap) or the NIC firmware path. The
+// master payload copy is private to the relay, so callers may recycle
+// m.Payload as soon as send returns, and retransmissions are immune to
+// receiver-side buffer pooling.
+func (r *relay) send(now vtime.Time, m *simnet.Message, viaNIC bool) (vtime.Time, error) {
+	if m.Dst < 0 || m.Dst >= r.n.ep.Ranks() {
+		return 0, fmt.Errorf("simnet: send to invalid rank %d (network has %d)", m.Dst, r.n.ep.Ranks())
+	}
+	r.mu.Lock()
+	l := r.link(m.Dst)
+	if l.down {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("portals: send to rank %d: %w", m.Dst, ErrLinkFailed)
+	}
+	l.nextSeq++
+	m.RSeq = l.nextSeq
+	m.Sum = Checksum(m.Payload)
+	f := &txFrame{
+		tmpl:    *m,
+		payload: append([]byte(nil), m.Payload...),
+		due:     time.Now().Add(retransRealBase),
+	}
+	f.tmpl.Payload = nil
+	l.inflight[m.RSeq] = f
+	r.mu.Unlock()
+
+	var at vtime.Time
+	var err error
+	if viaNIC {
+		at, err = r.n.ep.SendNIC(now, m)
+	} else {
+		at, err = r.n.ep.Send(now, m)
+	}
+	r.mu.Lock()
+	if err != nil {
+		delete(l.inflight, m.RSeq)
+		if l.nextSeq == m.RSeq {
+			l.nextSeq-- // leave no RSeq gap for the receiver to wait on
+		}
+	} else {
+		f.vt = m.SentAt
+	}
+	r.mu.Unlock()
+	return at, err
+}
+
+// retransmitter is the relay's timeout engine: a real-time ticker that
+// retransmits overdue frames and declares links failed when budgets run
+// out. It exits when the NIC stops.
+func (r *relay) retransmitter() {
+	t := time.NewTicker(retransTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.n.quit:
+			return
+		case now := <-t.C:
+			r.tick(now)
+		}
+	}
+}
+
+// realDeadline returns the real-time wait before timeout check k+1.
+func (r *relay) realDeadline(attempts int) time.Duration {
+	d := time.Duration(float64(retransRealBase) * math.Pow(r.pol.Backoff, float64(attempts)))
+	if d > retransRealCap || d <= 0 {
+		d = retransRealCap
+	}
+	return d
+}
+
+type resendItem struct {
+	m  *simnet.Message
+	vt vtime.Time
+}
+
+type failedLink struct {
+	dst int
+	at  vtime.Time
+}
+
+// tick scans the inflight tables for overdue frames. Retransmissions are
+// built under the lock but injected outside it (simnet sends can block on
+// back-pressure).
+func (r *relay) tick(now time.Time) {
+	var resends []resendItem
+	var failures []failedLink
+	net := r.n.ep.Network()
+
+	r.mu.Lock()
+	for dst, l := range r.links {
+		if l.down {
+			continue
+		}
+		for seq, f := range l.inflight {
+			if now.Before(f.due) {
+				continue
+			}
+			if f.attempts >= r.pol.Budget {
+				l.down = true
+				l.inflight = make(map[uint64]*txFrame)
+				failures = append(failures, failedLink{dst: dst, at: f.vt})
+				break
+			}
+			// Virtual stamp: previous transmission plus the policy's
+			// backed-off timeout plus seeded jitter.
+			step := time.Duration(float64(r.pol.Timeout) * math.Pow(r.pol.Backoff, float64(f.attempts)))
+			step += time.Duration(r.rng.Float64() * r.pol.Jitter * float64(r.pol.Timeout))
+			f.attempts++
+			f.vt += vtime.Time(step)
+			f.due = now.Add(r.realDeadline(f.attempts))
+			c := f.tmpl
+			c.RSeq = seq
+			c.Payload = append([]byte(nil), f.payload...)
+			resends = append(resends, resendItem{m: &c, vt: f.vt})
+			net.Retries.Inc()
+			net.RetransmitBytes.Add(int64(len(c.Payload)))
+			if obs := r.n.retransObs.Load(); obs != nil {
+				(*obs)(dst, seq, f.attempts, f.vt)
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	for _, it := range resends {
+		// Retransmission is NIC firmware work: no origin CPU cost.
+		if _, err := r.n.ep.SendNIC(it.vt, it.m); err != nil {
+			return // network shutting down
+		}
+	}
+	for _, fl := range failures {
+		err := fmt.Errorf("portals: rank %d to rank %d: %w", r.n.ep.ID(), fl.dst, ErrLinkFailed)
+		if h := r.n.linkFail.Load(); h != nil {
+			(*h)(fl.dst, fl.at, err)
+		}
+	}
+}
+
+// handleAck processes one KindRelAck on the agent goroutine. Hdr[0] is
+// the selective ack (the RSeq that triggered it); Hdr[1] is the
+// receiver's cumulative base — everything at or below it is delivered.
+func (r *relay) handleAck(m *simnet.Message) {
+	sel, cum := m.Hdr[0], m.Hdr[1]
+	r.mu.Lock()
+	if l := r.links[m.Src]; l != nil {
+		delete(l.inflight, sel)
+		for seq := range l.inflight {
+			if seq <= cum {
+				delete(l.inflight, seq)
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// sendRelAck acknowledges a tracked frame: selective (the frame's RSeq)
+// plus cumulative (the link's contiguous base). Sent as NIC firmware
+// work at the frame's arrival time; best-effort — a lost ack costs one
+// retransmission.
+func (n *NIC) sendRelAck(src int, sel, cum uint64, at vtime.Time) {
+	ack := &simnet.Message{Dst: src, Kind: KindRelAck}
+	ack.Hdr[0] = sel
+	ack.Hdr[1] = cum
+	_, _ = n.ep.SendNIC(at, ack)
+}
+
+// rxAdmit filters one tracked inbound frame on the agent goroutine:
+// checksum, dedup, ack, and (on ordered networks) RSeq reassembly.
+// Admitted frames continue to kind dispatch exactly once, in RSeq order
+// when the network promises order.
+func (n *NIC) rxAdmit(m *simnet.Message) {
+	if m.Sum != Checksum(m.Payload) {
+		// Reject silently: no ack, so the origin retransmits intact bytes.
+		n.ep.Network().CorruptRejected.Inc()
+		return
+	}
+	if n.rx == nil {
+		n.rx = make(map[int]*rxLink)
+	}
+	l := n.rx[m.Src]
+	if l == nil {
+		l = &rxLink{}
+		n.rx[m.Src] = l
+	}
+	if !n.ep.Ordered() {
+		// Unordered network: dedup only; the layers above already cope
+		// with arbitrary arrival order.
+		if l.win.dup(m.RSeq) {
+			n.ep.Network().DupDropped.Inc()
+			n.sendRelAck(m.Src, m.RSeq, l.win.base, m.ArriveAt) // re-ack: first ack may be lost
+			return
+		}
+		l.win.admit(m.RSeq)
+		n.sendRelAck(m.Src, m.RSeq, l.win.base, m.ArriveAt)
+		n.dispatchKind(m)
+		return
+	}
+	// Ordered network: deliver the RSeq stream contiguously so
+	// retransmission cannot break the wire's FIFO promise.
+	if l.win.dup(m.RSeq) || l.held[m.RSeq] != nil {
+		n.ep.Network().DupDropped.Inc()
+		n.sendRelAck(m.Src, m.RSeq, l.win.base, m.ArriveAt)
+		return
+	}
+	if m.RSeq != l.win.base+1 {
+		if len(l.held) >= n.rxWindow() {
+			// Reassembly window full: drop unacknowledged; the origin
+			// retransmits after the gap heals.
+			return
+		}
+		if l.held == nil {
+			l.held = make(map[uint64]*simnet.Message)
+		}
+		l.held[m.RSeq] = m
+		n.sendRelAck(m.Src, m.RSeq, l.win.base, m.ArriveAt)
+		return
+	}
+	l.win.base++
+	n.sendRelAck(m.Src, m.RSeq, l.win.base, m.ArriveAt)
+	n.dispatchKind(m)
+	for {
+		h := l.held[l.win.base+1]
+		if h == nil {
+			return
+		}
+		delete(l.held, l.win.base+1)
+		l.win.base++
+		n.dispatchKind(h)
+	}
+}
+
+// rxWindow returns the receiver reassembly bound: the local policy's if a
+// relay is enabled, the default otherwise (reception is always on).
+func (n *NIC) rxWindow() int {
+	if r := n.relay.Load(); r != nil {
+		return r.pol.Window
+	}
+	return DefaultRetryWindow
+}

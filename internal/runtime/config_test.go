@@ -44,20 +44,18 @@ func TestCustomCostModelPlumbed(t *testing.T) {
 	}
 }
 
-// TestTestHookPlumbed: the fault-injection hook reaches the network.
-func TestTestHookPlumbed(t *testing.T) {
-	var seen int64
+// TestFaultPlanPlumbed: a fault plan passed through Config reaches the
+// network, and the reliable-delivery relay it enables absorbs the injected
+// duplicates (runtime p2p rides the relay automatically).
+func TestFaultPlanPlumbed(t *testing.T) {
 	w := NewWorld(Config{
-		Ranks: 2,
-		TestHook: func(m *simnet.Message) bool {
-			seen++
-			return true
-		},
+		Ranks:  2,
+		Faults: &simnet.FaultPlan{Seed: 11, Default: simnet.LinkFaults{Dup: 1}},
 	})
 	defer w.Close()
 	err := w.Run(func(p *Proc) {
 		if p.Rank() == 0 {
-			p.Send(1, 0, nil)
+			p.Send(1, 0, []byte("hi"))
 		} else {
 			p.Recv(0, 0)
 		}
@@ -65,8 +63,11 @@ func TestTestHookPlumbed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seen == 0 {
-		t.Fatal("test hook never invoked")
+	if w.Net().FaultsDuplicated.Value() == 0 {
+		t.Fatal("fault plan never injected a duplicate")
+	}
+	if w.Net().DupDropped.Value() == 0 {
+		t.Fatal("relay never deduplicated the injected duplicates")
 	}
 }
 

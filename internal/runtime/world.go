@@ -52,8 +52,14 @@ type Config struct {
 	ByteOrder func(rank int) datatype.ByteOrder
 	// QueueDepth overrides the per-endpoint delivery queue capacity.
 	QueueDepth int
-	// TestHook is passed through to the network for fault injection.
-	TestHook func(*simnet.Message) bool
+	// Faults installs a deterministic fault-injection plan on the network
+	// and enables the reliable-delivery relay on every NIC so protocol
+	// layers keep their exactly-once view of the wire.
+	Faults *simnet.FaultPlan
+	// Retry overrides the relay's retry policy (zero fields = defaults).
+	// Setting Retry without Faults also enables the relay, e.g. to pin
+	// its overhead on a lossless wire.
+	Retry *portals.RetryPolicy
 }
 
 // World is a set of ranks joined by a simulated network.
@@ -78,8 +84,10 @@ func NewWorld(cfg Config) *World {
 		Seed:          cfg.Seed,
 		Cost:          cfg.Cost,
 		QueueDepth:    cfg.QueueDepth,
-		TestHook:      cfg.TestHook,
 	})
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
 	w := &World{cfg: cfg, net: net}
 	w.procs = make([]*Proc, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -93,6 +101,16 @@ func NewWorld(cfg Config) *World {
 		}
 		mem := memsim.New(memsim.Config{Size: cfg.MemSize, Coherence: coh})
 		nic := portals.NewNIC(net.Endpoint(r), mem, portals.Config{HardwareAcks: !cfg.SoftwareAcks})
+		if cfg.Faults != nil || cfg.Retry != nil {
+			var pol portals.RetryPolicy
+			if cfg.Retry != nil {
+				pol = *cfg.Retry
+			}
+			if pol.Seed == 0 && cfg.Faults != nil {
+				pol.Seed = cfg.Faults.Seed
+			}
+			nic.EnableReliability(pol)
+		}
 		w.procs[r] = newProc(w, r, nic, mem, order)
 	}
 	return w

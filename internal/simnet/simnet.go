@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpi3rma/internal/stats"
@@ -106,10 +107,6 @@ type Config struct {
 	// QueueDepth is the per-endpoint delivery queue capacity; 0 means
 	// DefaultQueueDepth.
 	QueueDepth int
-	// TestHook, if non-nil, sees every message at send time and may mutate
-	// it or return false to drop it. Only tests set this; dropping
-	// messages on a reliable network is a fault-injection facility.
-	TestHook func(*Message) bool
 }
 
 // DefaultReorderWindow is the unordered-mode scramble window when
@@ -140,6 +137,15 @@ type Message struct {
 	// counter stays comparable across batched and unbatched runs, while
 	// Msgs counts wire messages (and therefore per-message overhead paid).
 	Ops int
+	// RSeq is the reliable-delivery sequence number the portals relay
+	// assigns per (src, dst) link, counting from 1. 0 means the frame is
+	// not tracked by the relay. Unlike Seq it survives retransmission: a
+	// retransmitted frame carries a fresh Seq but the same RSeq.
+	RSeq uint64
+	// Sum is the payload checksum (CRC-32C) the reliable-delivery relay
+	// attaches so receivers can reject frames corrupted in flight. Only
+	// meaningful when RSeq != 0.
+	Sum uint32
 	// Payload is the message body. simnet does not copy it; senders must
 	// not reuse the slice after Send.
 	Payload []byte
@@ -156,12 +162,30 @@ type Network struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
+	// faults is the installed fault plan; nil means a lossless wire.
+	faults atomic.Pointer[FaultPlan]
+
 	// Counters for tests and the benchmark harness. Msgs counts wire
 	// messages; LogicalOps counts the operations they carry (equal to
 	// Msgs unless aggregated messages are in use); Bytes counts payload.
 	Msgs       stats.Counter
 	LogicalOps stats.Counter
 	Bytes      stats.Counter
+
+	// Fault-injection counters, incremented by the network as the
+	// installed FaultPlan fires.
+	FaultsDropped    stats.Counter
+	FaultsDuplicated stats.Counter
+	FaultsDelayed    stats.Counter
+	FaultsCorrupted  stats.Counter
+
+	// Reliable-delivery counters, incremented by the portals relay (they
+	// live here because, like Msgs/Bytes, they describe world-global wire
+	// traffic and must be merged exactly once across ranks).
+	Retries         stats.Counter // retransmitted frames
+	RetransmitBytes stats.Counter // payload bytes retransmitted
+	DupDropped      stats.Counter // duplicate frames discarded by receivers
+	CorruptRejected stats.Counter // frames rejected by payload checksum
 }
 
 // New constructs a network and its endpoints.
@@ -314,27 +338,7 @@ func (ep *Endpoint) Send(now vtime.Time, m *Message) (vtime.Time, error) {
 	m.SentAt = sent
 	m.ArriveAt = sent + vtime.Time(cost.Wire(len(m.Payload)))
 
-	ep.net.Msgs.Inc()
-	if m.Ops > 1 {
-		ep.net.LogicalOps.Add(int64(m.Ops))
-	} else {
-		ep.net.LogicalOps.Inc()
-	}
-	ep.net.Bytes.Add(int64(len(m.Payload)))
-
-	if hook := ep.cfg.TestHook; hook != nil {
-		if !hook(m) {
-			return m.ArriveAt, nil // dropped by fault injection
-		}
-	}
-
-	dst := ep.net.eps[m.Dst]
-	if ep.cfg.Ordered {
-		dst.in <- m
-	} else {
-		dst.scramble <- m
-	}
-	return m.ArriveAt, nil
+	return ep.transmit(m), nil
 }
 
 // SendNIC injects a NIC-generated control message (a hardware
@@ -360,6 +364,17 @@ func (ep *Endpoint) SendNIC(sentAt vtime.Time, m *Message) (vtime.Time, error) {
 	m.SentAt = sentAt
 	m.ArriveAt = sentAt + vtime.Time(ep.cfg.Cost.Wire(len(m.Payload)))
 
+	return ep.transmit(m), nil
+}
+
+// transmit counts m against the traffic counters, runs it through the
+// installed fault plan (if any) and enqueues the surviving copy or copies
+// for delivery. It returns the arrival time the sender observes — the
+// pre-fault arrival: real NICs do not learn that the wire dropped or
+// delayed a frame.
+func (ep *Endpoint) transmit(m *Message) vtime.Time {
+	arrive := m.ArriveAt
+
 	ep.net.Msgs.Inc()
 	if m.Ops > 1 {
 		ep.net.LogicalOps.Add(int64(m.Ops))
@@ -368,19 +383,27 @@ func (ep *Endpoint) SendNIC(sentAt vtime.Time, m *Message) (vtime.Time, error) {
 	}
 	ep.net.Bytes.Add(int64(len(m.Payload)))
 
-	if hook := ep.cfg.TestHook; hook != nil {
-		if !hook(m) {
-			return m.ArriveAt, nil
+	var dup *Message
+	if plan := ep.net.faults.Load(); plan != nil {
+		m, dup = ep.net.injectFaults(plan, m)
+		if m == nil {
+			return arrive // dropped: the sender never learns
 		}
 	}
 
 	dst := ep.net.eps[m.Dst]
 	if ep.cfg.Ordered {
 		dst.in <- m
+		if dup != nil {
+			dst.in <- dup
+		}
 	} else {
 		dst.scramble <- m
+		if dup != nil {
+			dst.scramble <- dup
+		}
 	}
-	return m.ArriveAt, nil
+	return arrive
 }
 
 // Recv blocks until a message is delivered to this endpoint, returning

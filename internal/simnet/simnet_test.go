@@ -162,29 +162,123 @@ func TestSendAfterCloseFails(t *testing.T) {
 	}
 }
 
-func TestTestHookDropsMessages(t *testing.T) {
-	dropped := 0
-	n := New(Config{
-		Ranks:   2,
-		Ordered: true,
-		TestHook: func(m *Message) bool {
-			if m.Kind == 7 {
-				dropped++
-				return false
-			}
-			return true
-		},
-	})
+func TestFaultPlanDropsMessages(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
 	defer n.Close()
+	n.SetFaults(&FaultPlan{
+		Seed:  7,
+		Links: map[LinkKey]LinkFaults{{Src: 0, Dst: 1}: {Drop: 1}},
+	})
 	src, dst := n.Endpoint(0), n.Endpoint(1)
 	src.Send(0, &Message{Dst: 1, Kind: 7})
-	src.Send(0, &Message{Dst: 1, Kind: 8})
-	m, ok := dst.Recv()
+	// The reverse link has no faults: deliveries there still work.
+	dst.Send(0, &Message{Dst: 0, Kind: 8})
+	m, ok := n.Endpoint(0).Recv()
 	if !ok || m.Kind != 8 {
 		t.Fatalf("got kind %d, want the undropped 8", m.Kind)
 	}
-	if dropped != 1 {
-		t.Fatalf("dropped = %d, want 1", dropped)
+	if got := n.FaultsDropped.Value(); got != 1 {
+		t.Fatalf("FaultsDropped = %d, want 1", got)
+	}
+	select {
+	case m := <-dstIn(dst):
+		t.Fatalf("dropped message delivered anyway: kind %d", m.Kind)
+	default:
+	}
+}
+
+// dstIn exposes the ordered inbox for the non-delivery assertion above.
+func dstIn(ep *Endpoint) chan *Message { return ep.in }
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() (dropped, dup int64) {
+		n := New(Config{Ranks: 2, Ordered: true})
+		defer n.Close()
+		n.SetFaults(&FaultPlan{Seed: 42, Default: LinkFaults{Drop: 0.3, Dup: 0.3}})
+		for i := 0; i < 200; i++ {
+			n.Endpoint(0).Send(0, &Message{Dst: 1, Payload: []byte{byte(i)}})
+		}
+		return n.FaultsDropped.Value(), n.FaultsDuplicated.Value()
+	}
+	d1, u1 := run()
+	d2, u2 := run()
+	if d1 != d2 || u1 != u2 {
+		t.Fatalf("same seed diverged: drops %d/%d dups %d/%d", d1, d2, u1, u2)
+	}
+	if d1 == 0 || u1 == 0 {
+		t.Fatalf("30%% rates over 200 sends injected nothing: drops=%d dups=%d", d1, u1)
+	}
+}
+
+func TestFaultPlanPartition(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	n.SetFaults(&FaultPlan{Partitions: []Partition{{A: 0, B: 1, From: 0, Until: 1_000_000}}})
+	n.Endpoint(0).Send(0, &Message{Dst: 1, Kind: 7})
+	n.Endpoint(0).Send(2_000_000, &Message{Dst: 1, Kind: 9})
+	m, ok := n.Endpoint(1).Recv()
+	if !ok || m.Kind != 9 {
+		t.Fatalf("got kind %d, want the post-partition 9", m.Kind)
+	}
+	if got := n.FaultsDropped.Value(); got != 1 {
+		t.Fatalf("FaultsDropped = %d, want 1", got)
+	}
+}
+
+func TestFaultPlanCorruptAndDelay(t *testing.T) {
+	orig := []byte{1, 2, 3, 4}
+	send := func(plan *FaultPlan) (*Network, *Message) {
+		n := New(Config{Ranks: 2, Ordered: true})
+		t.Cleanup(n.Close)
+		if plan != nil {
+			n.SetFaults(plan)
+		}
+		n.Endpoint(0).Send(0, &Message{Dst: 1, Payload: append([]byte(nil), orig...)})
+		m, ok := n.Endpoint(1).Recv()
+		if !ok {
+			t.Fatal("no delivery")
+		}
+		return n, m
+	}
+	_, base := send(nil)
+	n, m := send(&FaultPlan{
+		Seed:    3,
+		Default: LinkFaults{Corrupt: 1, Delay: 1, DelayBy: 1000},
+	})
+	same := true
+	for i := range orig {
+		if m.Payload[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("payload not corrupted")
+	}
+	if m.ArriveAt != base.ArriveAt+1000 {
+		t.Fatalf("ArriveAt = %d, want base %d + DelayBy 1000", m.ArriveAt, base.ArriveAt)
+	}
+	if n.FaultsCorrupted.Value() != 1 || n.FaultsDelayed.Value() != 1 {
+		t.Fatalf("corrupted=%d delayed=%d, want 1/1", n.FaultsCorrupted.Value(), n.FaultsDelayed.Value())
+	}
+}
+
+// TestTransmitZeroAllocsWithoutFaults pins the acceptance criterion that
+// the fault/relay machinery costs the default configuration nothing: with
+// no fault plan installed, the transmit hot path performs zero
+// allocations (one atomic nil-check and out).
+func TestTransmitZeroAllocsWithoutFaults(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	m := &Message{Dst: 1}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := src.Send(0, m); err != nil {
+			t.Fatal(err)
+		}
+		dst.Recv()
+	})
+	if allocs != 0 {
+		t.Fatalf("transmit with no fault plan allocated %.1f/op, want 0", allocs)
 	}
 }
 

@@ -2,7 +2,9 @@ package rma
 
 import (
 	"mpi3rma/internal/core"
+	"mpi3rma/internal/portals"
 	"mpi3rma/internal/serializer"
+	"mpi3rma/internal/simnet"
 )
 
 // Option configures a Session (passed to Open) or a single operation
@@ -22,6 +24,8 @@ type config struct {
 	tracing  bool
 	traceCap int
 	checker  bool
+	faults   *simnet.FaultPlan
+	retry    *portals.RetryPolicy
 }
 
 func buildConfig(opts []Option) config {
@@ -141,6 +145,27 @@ func WithMetrics() Option {
 // an already-installed tracer is kept.
 func WithTracing(capacity int) Option {
 	return func(c *config) { c.tracing, c.traceCap = true, capacity }
+}
+
+// WithFaults installs a deterministic fault-injection plan on the world's
+// network at Open and enables the reliable-delivery relay on this rank's
+// NIC so the session survives the injected faults (chaos testing; see
+// DESIGN.md §9). The network accepts the first plan installed; SPMD ranks
+// should all pass the same plan, and must Open before communicating so no
+// traffic predates relay protection. Faults exhaust retry budgets into
+// ErrLinkFailed — observe degradation via Session.Err().
+func WithFaults(plan *FaultPlan) Option {
+	return func(c *config) { c.faults = plan }
+}
+
+// WithRetryPolicy tunes (and enables, even without a fault plan) the
+// reliable-delivery relay at Open: virtual-time retransmit timeout,
+// exponential backoff, jitter, retry budget, and receiver reassembly
+// window. Zero fields take the portals defaults. On a lossless default
+// wire the relay never retransmits — pair this with WithFaults (or a
+// fault plan installed elsewhere) for it to matter.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
 }
 
 // WithChecker enables the RMA semantic checker at Open: every

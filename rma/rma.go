@@ -35,7 +35,9 @@ import (
 	"mpi3rma/internal/core"
 	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/portals"
 	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/simnet"
 	"mpi3rma/internal/telemetry"
 	"mpi3rma/internal/trace"
 )
@@ -55,6 +57,19 @@ type (
 type (
 	Checker  = checker.Checker
 	Conflict = checker.Conflict
+)
+
+// Fault-injection and reliable-delivery types (see WithFaults /
+// WithRetryPolicy): a FaultPlan describes, per directed link and window
+// of virtual time, how the simulated wire misbehaves; a RetryPolicy tunes
+// the relay that survives it.
+type (
+	FaultPlan   = simnet.FaultPlan
+	LinkFaults  = simnet.LinkFaults
+	LinkKey     = simnet.LinkKey
+	Partition   = simnet.Partition
+	Burst       = simnet.Burst
+	RetryPolicy = portals.RetryPolicy
 )
 
 // Predefined datatypes.
@@ -94,6 +109,10 @@ var (
 	ErrBounds    = core.ErrBounds
 	ErrType      = core.ErrType
 	ErrEpoch     = core.ErrEpoch
+	// ErrLinkFailed marks graceful degradation: a reliable-delivery retry
+	// budget ran out, the affected requests and Complete* calls fail with
+	// it (wrapped), and Session.Err() reports it sticky.
+	ErrLinkFailed = core.ErrLinkFailed
 )
 
 // AllRanks, passed as the target of Complete or Order, covers every rank.
@@ -139,8 +158,29 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 	if cfg.checker {
 		s.eng.SetAccessRecorder(checker.ForWorld(p.NIC().Endpoint().Network()))
 	}
+	if cfg.faults != nil {
+		p.NIC().Endpoint().Network().SetFaults(cfg.faults)
+	}
+	if cfg.faults != nil || cfg.retry != nil {
+		var pol RetryPolicy
+		if cfg.retry != nil {
+			pol = *cfg.retry
+		}
+		if pol.Seed == 0 && cfg.faults != nil {
+			// One seed reproduces the whole chaos run: scrambler, fault
+			// draws, and retry jitter all derive from it.
+			pol.Seed = cfg.faults.Seed
+		}
+		p.NIC().EnableReliability(pol)
+	}
 	return s
 }
+
+// Err reports the session's sticky failure: non-nil once any link's
+// reliable-delivery retry budget has been exhausted (see ErrLinkFailed).
+// A degraded session keeps working toward the surviving ranks; requests
+// and Complete* calls addressing the failed target return the error.
+func (s *Session) Err() error { return s.eng.Err() }
 
 // Proc returns the owning simulated process.
 func (s *Session) Proc() *runtime.Proc { return s.proc }
