@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race smoke smoke-metrics chaos bench
+.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
-# proving batching still pays, a telemetry smoke run proving the JSON
+# proving batching still pays, an E14 smoke bench proving the sharded
+# apply engine still scales, a telemetry smoke run proving the JSON
 # exporters parse, and the seeded chaos fault matrix under the race
 # detector.
-check: lint build test race smoke smoke-metrics chaos
+check: lint build test race smoke smoke-metrics bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,12 @@ race:
 
 smoke:
 	$(GO) test -run TestE13Smoke -count=1 ./internal/bench/
+
+# bench-smoke runs the E14 sharded-apply sweep at a single payload: slot
+# contents must verify byte-exactly and model time must not regress as
+# workers double.
+bench-smoke:
+	$(GO) test -run TestE14Smoke -count=1 ./internal/bench/
 
 # smoke-metrics runs one telemetry-instrumented experiment end to end:
 # rmabench validates the metrics and trace JSON re-parse before exiting 0.

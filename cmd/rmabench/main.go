@@ -8,6 +8,8 @@
 //	rmabench -exp e13 -metrics -trace e13-trace.json
 //	                         # telemetry sidecars: metrics JSON on stdout,
 //	                         # merged protocol timeline + spans to a file
+//	rmabench -exp e14        # sharded target apply scaling (workers x
+//	                         # payload on the Fig. 2 7-writer workload)
 //	rmabench -chaos          # seeded fault-matrix chaos run (same as
 //	                         # -exp chaos): byte-exact convergence under
 //	                         # drops, duplicates, delays and corruption

@@ -58,6 +58,8 @@ func main() {
 		}
 
 		// RMA_complete toward rank 0: all our puts are now applied there.
+		// Complete is variadic — s.Complete() with no arguments would cover
+		// every rank at once.
 		if err := s.Complete(tm.Owner); err != nil {
 			log.Fatal(err)
 		}

@@ -90,6 +90,14 @@ func main() {
 			return req
 		}
 
+		var neighbors []int
+		if left >= 0 {
+			neighbors = append(neighbors, left)
+		}
+		if right < ranks {
+			neighbors = append(neighbors, right)
+		}
+
 		old := make([]float64, total)
 		for sweep := 0; sweep < sweeps; sweep++ {
 			// Push boundary cells into the neighbours' ghost slots.
@@ -100,18 +108,18 @@ func main() {
 			if right < ranks {
 				reqs = append(reqs, pushBoundary(perRank, right, ghostL))
 			}
-			rma.WaitAll(reqs...)
-			// Remote completion of the pushes, then a barrier so every
-			// ghost everywhere is fresh before anyone relaxes.
-			if left >= 0 {
-				if err := s.Complete(left); err != nil {
+			for _, req := range reqs {
+				// Await = Wait + Err: local completion plus any failure the
+				// target discovered asynchronously.
+				if err := req.Await(); err != nil {
 					log.Fatal(err)
 				}
 			}
-			if right < ranks {
-				if err := s.Complete(right); err != nil {
-					log.Fatal(err)
-				}
+			// Remote completion of the pushes — one variadic Complete covers
+			// both neighbours — then a barrier so every ghost everywhere is
+			// fresh before anyone relaxes.
+			if err := s.Complete(neighbors...); err != nil {
+				log.Fatal(err)
 			}
 			comm.Barrier()
 

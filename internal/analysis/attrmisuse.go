@@ -31,6 +31,8 @@ var sessionOnly = map[string]string{
 	"WithChecker":         "the semantic checker is enabled at Open",
 	"WithFaults":          "fault injection is installed at Open",
 	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",
+	"WithApplyShards":     "the sharded apply engine is configured at Open",
+	"WithApplyWorkers":    "the apply worker pool is sized at Open",
 }
 
 // optionTakers maps facade calls that accept options to their kind.

@@ -18,6 +18,15 @@ func sessionOnlyOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
 
 func sessionOptionsAtOpenAreFine(p *runtime.Proc) {
 	_ = rma.Open(p, rma.WithBatch(8), rma.WithBatchBytes(1024), rma.WithMetrics(), rma.WithTracing(0), rma.WithChecker())
+	_ = rma.Open(p, rma.WithApplyShards(8), rma.WithApplyWorkers(4))
+}
+
+func shardingOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithApplyShards(8), rma.WithBlocking())  // want "WithApplyShards is ignored on Put"
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithApplyWorkers(4), rma.WithBlocking()) // want "WithApplyWorkers is ignored on Put"
+	_ = s.CompleteAll()
 }
 
 func duplicateOption(p *runtime.Proc, tm rma.TargetMem) {

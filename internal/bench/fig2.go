@@ -88,6 +88,16 @@ type PutsCompleteConfig struct {
 	// ProbeCompletion forces Complete's probe round-trip even when
 	// delivery counters could answer locally (E13 A/B).
 	ProbeCompletion bool
+	// DisjointSlots exposes Origins*Size bytes at rank 0 and gives each
+	// origin its own Size-byte slot at displacement (rank-1)*Size (E14):
+	// disjoint target ranges a sharded target can apply in parallel.
+	DisjointSlots bool
+	// ApplyShards/ApplyWorkers configure rank 0's sharded apply engine
+	// (E14); zero keeps the serial target.
+	ApplyShards, ApplyWorkers int
+	// ApplyPerKB overrides the target's per-KB apply cost (0 = engine
+	// default), letting E14 model a memory-bandwidth-bound target.
+	ApplyPerKB time.Duration
 	// WorldConfig hooks further runtime configuration (nil = none).
 	WorldConfig func(*runtime.Config)
 }
@@ -170,17 +180,27 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 	out := PutsCompleteOutcome{Verified: true}
 	col := newCollector()
 
+	exposeSize := cfg.Size
+	if cfg.DisjointSlots {
+		exposeSize = cfg.Origins * cfg.Size
+	}
 	err := w.Run(func(p *runtime.Proc) {
-		e := core.Attach(p, core.Options{
+		eopts := core.Options{
 			Atomicity:       cfg.Mech,
 			ProgressQuantum: cfg.TargetPolls,
 			BatchOps:        cfg.BatchOps,
 			ProbeCompletion: cfg.ProbeCompletion,
-		})
+			ApplyPerKB:      cfg.ApplyPerKB,
+		}
+		if p.Rank() == 0 {
+			eopts.ApplyShards = cfg.ApplyShards
+			eopts.ApplyWorkers = cfg.ApplyWorkers
+		}
+		e := core.Attach(p, eopts)
 		col.attach(p.Rank(), e)
 		comm := p.Comm()
 		if p.Rank() == 0 {
-			tm, region := e.ExposeNew(cfg.Size)
+			tm, region := e.ExposeNew(exposeSize)
 			enc := tm.Encode()
 			for r := 1; r < ranks; r++ {
 				p.Send(r, 0, enc)
@@ -197,18 +217,32 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 				}
 			}
 			p.Barrier()
-			// Validate: the region holds some origin's fill byte.
-			got := p.Mem().Snapshot(region.Offset, cfg.Size)
-			val := got[0]
-			okByte := val >= 1 && int(val) <= cfg.Origins
-			for _, b := range got {
-				if b != val {
-					okByte = false
-					break
+			got := p.Mem().Snapshot(region.Offset, exposeSize)
+			if cfg.DisjointSlots {
+				// Validate: each origin's slot holds exactly its fill byte.
+				for r := 1; r <= cfg.Origins; r++ {
+					slot := got[(r-1)*cfg.Size : r*cfg.Size]
+					for _, b := range slot {
+						if b != byte(r) {
+							out.Verified = false
+							break
+						}
+					}
 				}
-			}
-			if !okByte {
-				out.Verified = false
+			} else {
+				// Validate: the region holds some origin's fill byte (every
+				// put targets the same region, so the last writer wins).
+				val := got[0]
+				okByte := val >= 1 && int(val) <= cfg.Origins
+				for _, b := range got {
+					if b != val {
+						okByte = false
+						break
+					}
+				}
+				if !okByte {
+					out.Verified = false
+				}
 			}
 			out.TargetStaleReads = p.Mem().StaleReads.Value()
 			out.TargetInvalidations = p.Mem().Invalidates.Value()
@@ -229,10 +263,14 @@ func RunPutsComplete(cfg PutsCompleteConfig) PutsCompleteOutcome {
 		}
 		p.WriteLocal(src, 0, fill)
 
+		tdisp := 0
+		if cfg.DisjointSlots {
+			tdisp = (p.Rank() - 1) * cfg.Size
+		}
 		startVT := p.Now()
 		startWall := time.Now()
 		for i := 0; i < cfg.Puts; i++ {
-			if _, err := e.Put(src, cfg.Size, datatype.Byte, tm, 0, cfg.Size, datatype.Byte, 0, comm, attrs); err != nil {
+			if _, err := e.Put(src, cfg.Size, datatype.Byte, tm, tdisp, cfg.Size, datatype.Byte, 0, comm, attrs); err != nil {
 				panic(err)
 			}
 		}

@@ -149,6 +149,7 @@ func All() []Result {
 		RunE11(),
 		RunE12(),
 		RunE13(),
+		RunE14(),
 	}
 }
 
@@ -179,6 +180,8 @@ func ByName(name string) (Result, bool) {
 		return RunE12(), true
 	case "e13":
 		return RunE13(), true
+	case "e14":
+		return RunE14(), true
 	case "chaos":
 		return RunChaos(), true
 	default:
@@ -188,5 +191,5 @@ func ByName(name string) (Result, bool) {
 
 // Names lists the experiment ids ByName accepts.
 func Names() []string {
-	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "chaos"}
+	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "chaos"}
 }

@@ -510,7 +510,7 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 				track.software = true
 			}
 			exp := e.lookupExposure(op.handle)
-			e.scheduleApply(m.Src, at, len(op.wire), op.atomic, func(end vtime.Time) {
+			e.scheduleApplyRange(m.Src, at, len(op.wire), op.atomic, op.ordered, exp, op.disp, datatype.ExtentOf(op.tcount, op.tdt), func(end vtime.Time) {
 				if exp == nil {
 					e.proc.NIC().BadReq.Inc()
 				} else {
@@ -613,6 +613,12 @@ func (e *Engine) waitConfirmed(target int, threshold int64) (vtime.Time, error) 
 			return at, nil
 		}
 		if err := e.failedLinks[target]; err != nil {
+			e.cmplMu.Unlock()
+			return 0, err
+		}
+		if err := e.applyErr; err != nil {
+			// Engine-fatal (shard worker panic): the missing confirmations
+			// can never arrive from a poisoned apply pipeline.
 			e.cmplMu.Unlock()
 			return 0, err
 		}

@@ -8,10 +8,11 @@ import (
 )
 
 // Complete blocks until every operation previously issued by this rank to
-// trank (a rank of comm, or AllRanks for all of them) has been applied at
-// the target — the paper's MPI_RMA_complete. It is the strong
-// synchronization operation: afterwards, remote completion of all covered
-// operations is guaranteed, whether or not they set AttrRemoteComplete.
+// the given ranks of comm has been applied at the target — the paper's
+// MPI_RMA_complete. Call it with no rank arguments (or AllRanks) to cover
+// every rank of comm. It is the strong synchronization operation:
+// afterwards, remote completion of all covered operations is guaranteed,
+// whether or not they set AttrRemoteComplete.
 //
 // Pending issue rings are flushed first, then completion is established
 // per target, cheapest mechanism first:
@@ -28,11 +29,11 @@ import (
 //
 // Options.ProbeCompletion forces path 3 for measurement. Cases 1 and 2 are
 // counted in FastPaths.
-func (e *Engine) Complete(comm *runtime.Comm, trank int) error {
+func (e *Engine) Complete(comm *runtime.Comm, tranks ...int) error {
 	e.Progress()
 	e.CompleteCalls.Inc()
 	start := e.proc.Now()
-	targets, err := e.resolveTargets(comm, trank)
+	targets, err := e.resolveTargets(comm, tranks)
 	if err != nil {
 		return err
 	}
@@ -163,16 +164,17 @@ func (e *Engine) CompleteCollective(comm *runtime.Comm) error {
 	return nil
 }
 
-// Order guarantees that every operation issued to trank (or AllRanks)
-// before the call is applied before any operation issued after it — the
-// paper's MPI_RMA_order, the shmem_fence-style weak synchronization. On a
-// network that preserves ordering it costs nothing beyond flushing pending
-// issue rings (Figure 2's overlapping lines); otherwise the next operation
-// to each covered target first stalls until the target confirms the
-// earlier operations, the "slight penalty" of Section III-B.
-func (e *Engine) Order(comm *runtime.Comm, trank int) error {
+// Order guarantees that every operation issued to the given ranks of comm
+// (none given, or AllRanks, = every rank) before the call is applied
+// before any operation issued after it — the paper's MPI_RMA_order, the
+// shmem_fence-style weak synchronization. On a network that preserves
+// ordering it costs nothing beyond flushing pending issue rings (Figure
+// 2's overlapping lines); otherwise the next operation to each covered
+// target first stalls until the target confirms the earlier operations,
+// the "slight penalty" of Section III-B.
+func (e *Engine) Order(comm *runtime.Comm, tranks ...int) error {
 	e.Progress()
-	targets, err := e.resolveTargets(comm, trank)
+	targets, err := e.resolveTargets(comm, tranks)
 	if err != nil {
 		return err
 	}
@@ -207,15 +209,29 @@ func (e *Engine) OrderCollective(comm *runtime.Comm) error {
 	return nil
 }
 
-// resolveTargets expands trank/AllRanks into world ranks.
-func (e *Engine) resolveTargets(comm *runtime.Comm, trank int) ([]int, error) {
-	if trank == AllRanks {
+// resolveTargets expands a variadic target list into world ranks: an empty
+// list or any AllRanks entry covers the whole communicator; explicit ranks
+// are validated, mapped, and deduplicated preserving call order.
+func (e *Engine) resolveTargets(comm *runtime.Comm, tranks []int) ([]int, error) {
+	if len(tranks) == 0 {
 		return comm.Ranks(), nil
 	}
-	if trank < 0 || trank >= comm.Size() {
-		return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d: %w", trank, comm.Size(), ErrBadHandle)
+	out := make([]int, 0, len(tranks))
+	seen := make(map[int]bool, len(tranks))
+	for _, trank := range tranks {
+		if trank == AllRanks {
+			return comm.Ranks(), nil
+		}
+		if trank < 0 || trank >= comm.Size() {
+			return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d: %w", trank, comm.Size(), ErrBadHandle)
+		}
+		world := comm.WorldRank(trank)
+		if !seen[world] {
+			seen[world] = true
+			out = append(out, world)
+		}
 	}
-	return []int{comm.WorldRank(trank)}, nil
+	return out, nil
 }
 
 // sendProbe issues a completion probe to a world rank and returns the

@@ -94,6 +94,18 @@ type Options struct {
 	// when delivery-counter notifications could answer locally. For A/B
 	// measurement (experiment E13); leave false.
 	ProbeCompletion bool
+	// ApplyShards partitions each exposed target memory into this many
+	// fixed byte-range shards applied by a worker pool instead of the
+	// serial target path. Operations confined to one shard apply in
+	// parallel with other shards; spanning, ordered, and conflicting
+	// operations route through a designated shard that waits for
+	// everything routed before it (see shard.go). 0 or 1 keeps the serial
+	// engine, which is bit-compatible by construction.
+	ApplyShards int
+	// ApplyWorkers bounds the worker pool draining the shard queues
+	// (0 = one worker per shard). Setting ApplyWorkers > 1 with
+	// ApplyShards unset enables sharding with ApplyWorkers shards.
+	ApplyWorkers int
 }
 
 // DefaultBatchBytes is the per-batch payload bound when Options.BatchOps
@@ -112,6 +124,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchOps > 0 && o.BatchBytes == 0 {
 		o.BatchBytes = DefaultBatchBytes
+	}
+	if o.ApplyShards <= 1 && o.ApplyWorkers > 1 {
+		o.ApplyShards = o.ApplyWorkers
+	}
+	if o.ApplyShards > 1 && o.ApplyWorkers <= 0 {
+		o.ApplyWorkers = o.ApplyShards
 	}
 	return o
 }
@@ -174,6 +192,10 @@ type Engine struct {
 	// failure, reported sticky by Err().
 	failedLinks map[int]error
 	linkErr     error
+	// applyErr is the engine-fatal sticky failure (a shard worker panic):
+	// unlike a single failed link it poisons every wait, because the
+	// target-side apply pipeline itself is no longer trustworthy.
+	applyErr error
 
 	// Target-side state, guarded by tgtMu because applies may run on the
 	// NIC agent, the thread serializer, or a Progress call. tgtCond wakes
@@ -191,6 +213,16 @@ type Engine struct {
 	applyQ    *serializer.ApplyQueue
 	progQ     *serializer.ProgressQueue
 	closeOnce sync.Once
+
+	// Sharded apply engine state (nil/zero when Options.ApplyShards <= 1):
+	// shardPool drains per-shard queues with bounded workers; shardMu
+	// guards the designated-shard in-flight envelope and the per-shard
+	// applied watermarks (see shard.go).
+	shardPool *portals.ShardPool
+	shardMu   sync.Mutex
+	desigOpen int // designated-shard ops in flight
+	desigLo   int // envelope: min byte offset covered by those ops
+	desigHi   int // envelope: one past the max byte offset
 
 	amMu sync.Mutex
 	am   map[uint64]AMHandler
@@ -231,6 +263,8 @@ type Engine struct {
 	FastPaths      stats.Counter // Complete calls answered from counters, no probe
 	CompleteCalls  stats.Counter // Complete invocations
 	ProbeFallbacks stats.Counter // Complete targets that needed the probe round-trip
+	ShardBypass    stats.Counter // applies routed around the shard pool (serializer/serial path)
+	ShardDesignated stats.Counter // applies routed through the designated shard
 }
 
 // gosched yields to let agent and serializer goroutines run between
@@ -272,6 +306,10 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 			e.progQ = serializer.NewProgressQueue(e.opts.ProgressQuantum)
 		}
 		nic := p.NIC()
+		if e.opts.ApplyShards > 1 {
+			e.shardPool = nic.EnableSharding(e.opts.ApplyShards, e.opts.ApplyWorkers)
+			e.shardPool.SetPanicHandler(e.onApplyPanic)
+		}
 		nic.RegisterHandler(kPut, e.handlePut)
 		nic.RegisterHandler(kGet, e.handleGet)
 		nic.RegisterHandler(kGetReply, e.handleGetReply)
@@ -491,6 +529,9 @@ func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
 func (e *Engine) Err() error {
 	e.cmplMu.Lock()
 	defer e.cmplMu.Unlock()
+	if e.applyErr != nil {
+		return e.applyErr
+	}
 	return e.linkErr
 }
 

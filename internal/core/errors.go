@@ -39,3 +39,10 @@ var (
 // never come. It is portals.ErrLinkFailed re-exported so engine callers
 // classify transport failures without importing the transport.
 var ErrLinkFailed = portals.ErrLinkFailed
+
+// ErrApplyFault is the sticky sentinel for a target-side apply failure: a
+// shard worker panicked while depositing an operation. The engine survives
+// — the pool recovers the panic — but its memory can no longer be trusted,
+// so every outstanding request and every later completion wait on this
+// rank fails wrapping ErrApplyFault, and Err() reports it.
+var ErrApplyFault = errors.New("target apply fault")

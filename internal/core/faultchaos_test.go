@@ -69,13 +69,20 @@ const (
 // runSevenWriter runs 7 origins hammering one target — each origin owns
 // a disjoint put slot (finalized per round) and a disjoint accumulate
 // slot (commutative sum) — and returns the target's final exposed bytes.
-func runSevenWriter(t *testing.T, plan *simnet.FaultPlan) []byte {
+// topts configures the target rank's engine (the origins always attach
+// with defaults), so the same workload can run on the serial and the
+// sharded apply engine.
+func runSevenWriter(t *testing.T, plan *simnet.FaultPlan, topts Options) []byte {
 	t.Helper()
 	w := newWorld(t, runtime.Config{Ranks: fcWriters + 1, Seed: 7, Faults: plan})
 	size := 2 * fcWriters * fcSlot
 	final := make([]byte, size)
 	err := w.Run(func(p *runtime.Proc) {
-		e := Attach(p, Options{})
+		opts := Options{}
+		if p.Rank() == 0 {
+			opts = topts
+		}
+		e := Attach(p, opts)
 		comm := p.Comm()
 		if p.Rank() == 0 {
 			tm, region := e.ExposeNew(size)
@@ -133,7 +140,7 @@ func runSevenWriter(t *testing.T, plan *simnet.FaultPlan) []byte {
 // 7-writer contention workload across the whole fault matrix, with
 // guaranteed retransmissions in every faulted run.
 func TestFaultChaosSevenWriter(t *testing.T) {
-	baseline := runSevenWriter(t, nil)
+	baseline := runSevenWriter(t, nil, Options{})
 	// Sanity: the fault-free run produced the analytically expected bytes.
 	for r := 1; r <= fcWriters; r++ {
 		wantPut := bytes.Repeat([]byte{byte(16*r + fcRounds - 1)}, fcSlot)
@@ -152,9 +159,32 @@ func TestFaultChaosSevenWriter(t *testing.T) {
 	for _, tc := range chaosPlans() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			got := runSevenWriter(t, tc.plan)
+			got := runSevenWriter(t, tc.plan, Options{})
 			if !bytes.Equal(got, baseline) {
 				t.Fatalf("faulted run diverged from fault-free bytes:\n got %x\nwant %x", got, baseline)
+			}
+		})
+	}
+}
+
+// TestFaultChaosSevenWriterSharded repeats the 7-writer matrix with the
+// target running the sharded apply engine (4 shards over a 112-byte
+// exposure, so the 8-byte put slots straddle shard boundaries and
+// exercise the designated-shard path, plus atomic accumulates taking the
+// serializer bypass) and asserts byte-exact convergence with the serial
+// engine's fault-free bytes — same plans, same seeds.
+func TestFaultChaosSevenWriterSharded(t *testing.T) {
+	sharded := Options{ApplyShards: 4, ApplyWorkers: 4}
+	baseline := runSevenWriter(t, nil, Options{})
+	if got := runSevenWriter(t, nil, sharded); !bytes.Equal(got, baseline) {
+		t.Fatalf("fault-free sharded run diverged from serial bytes:\n got %x\nwant %x", got, baseline)
+	}
+	for _, tc := range chaosPlans() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := runSevenWriter(t, tc.plan, sharded)
+			if !bytes.Equal(got, baseline) {
+				t.Fatalf("faulted sharded run diverged from serial fault-free bytes:\n got %x\nwant %x", got, baseline)
 			}
 		})
 	}

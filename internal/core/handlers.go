@@ -76,6 +76,12 @@ func (e *Engine) gateOrdered(src int, seq uint64, at vtime.Time, process func(at
 //     the communication-thread queue, the progress queue, or (under the
 //     coarse lock, which the origin already holds) the single atomic lane.
 func (e *Engine) scheduleApply(src int, at vtime.Time, nbytes int, atomic bool, fn func(end vtime.Time)) {
+	if e.shardPool != nil {
+		// Sharding is on but this update is not pool-eligible (atomic, or a
+		// caller without range information); counted so shard telemetry
+		// reconciles against ops.applied.
+		e.ShardBypass.Inc()
+	}
 	cost := e.applyCost(nbytes)
 	if !atomic {
 		e.tgtMu.Lock()
@@ -161,7 +167,7 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 		wire := rest
 		tcount := int(m.Hdr[hCount])
 		disp := int(m.Hdr[hDisp])
-		e.scheduleApply(m.Src, at, len(wire), atomic, func(end vtime.Time) {
+		e.scheduleApplyRange(m.Src, at, len(wire), atomic, attrs&AttrOrdering != 0, exp, disp, datatype.ExtentOf(tcount, tdt), func(end vtime.Time) {
 			base := exp.region.Offset + disp
 			var err error
 			if accOp == AccNone || accOp == AccReplace {
@@ -212,7 +218,7 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 		tcount := int(m.Hdr[hCount])
 		disp := int(m.Hdr[hDisp])
 		nbytes := tcount * tdt.Size()
-		e.scheduleApply(m.Src, at, nbytes, atomic, func(end vtime.Time) {
+		e.scheduleApplyRange(m.Src, at, nbytes, atomic, attrs&AttrOrdering != 0, exp, disp, datatype.ExtentOf(tcount, tdt), func(end vtime.Time) {
 			wire, err := e.gather(exp.region.Offset+disp, tcount, tdt)
 			if err != nil {
 				e.proc.NIC().BadReq.Inc()

@@ -136,6 +136,16 @@ func (r *Request) Test() bool {
 // Done exposes the completion channel for select-based waiting.
 func (r *Request) Done() <-chan struct{} { return r.waitCh() }
 
+// Await is Wait followed by Err: it blocks until the operation completes,
+// advances the rank's virtual clock to the completion time, and returns
+// the operation's asynchronous failure, if any. It is the one-call
+// completion surface — callers that used to poll with ProbeCompletion or
+// pair Wait with Err should use Await.
+func (r *Request) Await() error {
+	r.Wait()
+	return r.Err()
+}
+
 // CompletedAt returns the virtual completion time (valid once done).
 func (r *Request) CompletedAt() vtime.Time {
 	r.mu.Lock()

@@ -84,6 +84,17 @@ type Memory struct {
 	// next allocation offset for Alloc.
 	next int
 
+	// stripes, present only under the Coherent model, partition the byte
+	// store into fixed ranges with one lock each, so concurrent remote
+	// writes to disjoint ranges (the sharded target-side apply engine) do
+	// not serialize on a single memory lock. An access locks the stripes
+	// covering its byte range in ascending order; overlapping accesses
+	// always share at least one stripe, so Update keeps its atomicity
+	// guarantee. The non-coherent model keeps the single mu: its cache and
+	// version state is shared across the whole store.
+	stripes   []sync.Mutex
+	stripeLen int
+
 	// Non-coherent model state: the scalar cache and a per-line version
 	// counter bumped by every write to memory, so stale cache hits can be
 	// detected and counted.
@@ -119,8 +130,50 @@ func New(cfg Config) *Memory {
 	if cfg.Coherence == NonCoherentWriteThrough {
 		m.cache = make(map[int]*cacheLine)
 		m.version = make([]uint64, (cfg.Size+cfg.CacheLine-1)/cfg.CacheLine)
+	} else {
+		n := memStripes
+		if cfg.Size < n {
+			n = cfg.Size
+		}
+		m.stripeLen = (cfg.Size + n - 1) / n
+		m.stripes = make([]sync.Mutex, (cfg.Size+m.stripeLen-1)/m.stripeLen)
 	}
 	return m
+}
+
+// memStripes is the stripe count for coherent memories. Plenty for the
+// shard counts the apply engine uses while keeping lock state small.
+const memStripes = 64
+
+// lockRange acquires every stripe covering [off, off+n) in ascending
+// order; all range accesses acquire in the same order, so there is no
+// lock-order cycle. The caller must have bounds-checked the range.
+func (m *Memory) lockRange(off, n int) {
+	first, last := m.stripeSpan(off, n)
+	for s := first; s <= last; s++ {
+		m.stripes[s].Lock()
+	}
+}
+
+// unlockRange releases the stripes covering [off, off+n).
+func (m *Memory) unlockRange(off, n int) {
+	first, last := m.stripeSpan(off, n)
+	for s := last; s >= first; s-- {
+		m.stripes[s].Unlock()
+	}
+}
+
+// stripeSpan maps a byte range to an inclusive stripe range. Zero-length
+// accesses are pinned to a single in-bounds stripe so lock/unlock pairs
+// stay balanced.
+func (m *Memory) stripeSpan(off, n int) (first, last int) {
+	if n <= 0 {
+		if off >= len(m.data) {
+			off = len(m.data) - 1
+		}
+		n = 1
+	}
+	return off / m.stripeLen, (off + n - 1) / m.stripeLen
 }
 
 // Size returns the total memory size in bytes.
@@ -205,6 +258,12 @@ func (m *Memory) LocalWrite(off int, data []byte) error {
 		return err
 	}
 	m.LocalWrites.Inc()
+	if m.stripes != nil {
+		m.lockRange(off, len(data))
+		copy(m.data[off:], data)
+		m.unlockRange(off, len(data))
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	copy(m.data[off:], data)
@@ -226,6 +285,12 @@ func (m *Memory) LocalRead(off int, buf []byte) error {
 		return err
 	}
 	m.LocalReads.Inc()
+	if m.stripes != nil {
+		m.lockRange(off, len(buf))
+		copy(buf, m.data[off:off+len(buf)])
+		m.unlockRange(off, len(buf))
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cache == nil {
@@ -303,6 +368,12 @@ func (m *Memory) RemoteWrite(off int, data []byte) error {
 		return err
 	}
 	m.RemoteWrites.Inc()
+	if m.stripes != nil {
+		m.lockRange(off, len(data))
+		copy(m.data[off:], data)
+		m.unlockRange(off, len(data))
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	copy(m.data[off:], data)
@@ -317,6 +388,12 @@ func (m *Memory) RemoteRead(off int, buf []byte) error {
 		return err
 	}
 	m.RemoteReads.Inc()
+	if m.stripes != nil {
+		m.lockRange(off, len(buf))
+		copy(buf, m.data[off:off+len(buf)])
+		m.unlockRange(off, len(buf))
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	copy(buf, m.data[off:off+len(buf)])
@@ -330,6 +407,12 @@ func (m *Memory) RemoteRead(off int, buf []byte) error {
 func (m *Memory) Update(off, n int, fn func(cur []byte)) error {
 	if err := m.check(off, n); err != nil {
 		return err
+	}
+	if m.stripes != nil {
+		m.lockRange(off, n)
+		fn(m.data[off : off+n])
+		m.unlockRange(off, n)
+		return nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -395,6 +478,12 @@ func (m *Memory) CachedLines() int {
 func (m *Memory) Snapshot(off, n int) []byte {
 	if err := m.check(off, n); err != nil {
 		panic(err)
+	}
+	if m.stripes != nil {
+		m.lockRange(off, n)
+		out := append([]byte(nil), m.data[off:off+n]...)
+		m.unlockRange(off, n)
+		return out
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -84,6 +84,11 @@ type NIC struct {
 	linkFail   atomic.Pointer[func(dst int, at vtime.Time, err error)]
 	retransObs atomic.Pointer[func(dst int, rseq uint64, attempt int, at vtime.Time)]
 
+	// shardPool is the target-side sharded apply pool (nil until
+	// EnableSharding); the core layer routes decoded operations into it
+	// from this NIC's rx path.
+	shardPool atomic.Pointer[ShardPool]
+
 	// SoftAcks counts acknowledgements that had to be sent in software.
 	SoftAcks stats.Counter
 	// BadReq counts protocol violations observed by this rank (unknown
@@ -179,8 +184,24 @@ func (n *NIC) SendNIC(at vtime.Time, m *simnet.Message) (vtime.Time, error) {
 	return n.ep.SendNIC(at, m)
 }
 
-// Stop terminates the agent goroutine. Messages still queued are left for
-// the network's Close to discard. Stop is idempotent.
+// EnableSharding installs a sharded apply pool on the NIC. Like
+// EnableReliability it is first-call-wins: the pool that all layers see is
+// the one from the first call. It returns the active pool.
+func (n *NIC) EnableSharding(shards, workers int) *ShardPool {
+	p := NewShardPool(shards, workers)
+	if !n.shardPool.CompareAndSwap(nil, p) {
+		p.Close()
+	}
+	return n.shardPool.Load()
+}
+
+// Sharding returns the active shard pool, or nil when the target applies
+// serially.
+func (n *NIC) Sharding() *ShardPool { return n.shardPool.Load() }
+
+// Stop terminates the agent goroutine and drains the shard pool, if any.
+// Messages still queued are left for the network's Close to discard. Stop
+// is idempotent.
 func (n *NIC) Stop() {
 	select {
 	case <-n.quit:
@@ -188,6 +209,9 @@ func (n *NIC) Stop() {
 		close(n.quit)
 	}
 	<-n.done
+	if p := n.shardPool.Load(); p != nil {
+		p.Close()
+	}
 }
 
 // agent is the rank's communication thread: it consumes the delivery queue

@@ -1,0 +1,158 @@
+package portals
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpi3rma/internal/vtime"
+)
+
+// TestShardPoolFIFOPerShard: tasks submitted to one shard run strictly in
+// submission order even with many workers draining the pool.
+func TestShardPoolFIFOPerShard(t *testing.T) {
+	p := NewShardPool(4, 4)
+	const perShard = 200
+	var mu sync.Mutex
+	order := make([][]int, 4)
+	for i := 0; i < perShard; i++ {
+		for s := 0; s < 4; s++ {
+			s, i := s, i
+			p.Submit(s, ShardTask{Cost: 10, Run: func(vtime.Time) {
+				mu.Lock()
+				order[s] = append(order[s], i)
+				mu.Unlock()
+			}})
+		}
+	}
+	p.Close()
+	for s, got := range order {
+		if len(got) != perShard {
+			t.Fatalf("shard %d ran %d tasks, want %d", s, len(got), perShard)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("shard %d position %d ran task %d: FIFO violated", s, i, v)
+			}
+		}
+	}
+}
+
+// TestShardPoolModelScaling: the modelled completion time of a balanced
+// workload shrinks with the worker bound — and is exact, because lanes are
+// charged at submit time, independent of host scheduling.
+func TestShardPoolModelScaling(t *testing.T) {
+	const shards, tasks = 7, 700
+	const cost = vtime.Duration(1000)
+	for _, w := range []int{1, 2, 4, 7} {
+		p := NewShardPool(shards, w)
+		var maxEnd atomic.Int64
+		for i := 0; i < tasks; i++ {
+			p.Submit(i%shards, ShardTask{Cost: cost, Run: func(end vtime.Time) {
+				for {
+					cur := maxEnd.Load()
+					if int64(end) <= cur || maxEnd.CompareAndSwap(cur, int64(end)) {
+						return
+					}
+				}
+			}})
+		}
+		p.Close()
+		// Busiest lane carries ceil(shards/w) home shards of tasks/shards
+		// tasks each.
+		homeShards := (shards + w - 1) / w
+		want := int64(homeShards) * (tasks / shards) * int64(cost)
+		if maxEnd.Load() != want {
+			t.Errorf("workers=%d: modelled makespan %d, want exactly %d", w, maxEnd.Load(), want)
+		}
+	}
+}
+
+// TestShardPoolTicket: a ticketed task observes every task routed before
+// it, across all shards, even at workers=1 (helping drain).
+func TestShardPoolTicket(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		p := NewShardPool(3, w)
+		var applied atomic.Int64
+		for i := 0; i < 30; i++ {
+			p.Submit(i%3, ShardTask{Cost: 5, Run: func(vtime.Time) { applied.Add(1) }})
+		}
+		ticket := p.Snapshot()
+		var sawAll atomic.Bool
+		p.Submit(0, ShardTask{Cost: 5, After: ticket, Run: func(vtime.Time) {
+			sawAll.Store(applied.Load() == 30)
+		}})
+		p.Close()
+		if !sawAll.Load() {
+			t.Errorf("workers=%d: ticketed task ran before its %d predecessors", w, 30)
+		}
+	}
+}
+
+// TestShardPoolPanic: a panicking task is recovered, reported through the
+// handler, and the pool keeps applying subsequent tasks.
+func TestShardPoolPanic(t *testing.T) {
+	p := NewShardPool(2, 2)
+	var gotShard atomic.Int64
+	var gotVal atomic.Value
+	gotShard.Store(-1)
+	p.SetPanicHandler(func(shard int, recovered any) {
+		gotShard.Store(int64(shard))
+		gotVal.Store(recovered)
+	})
+	var after atomic.Bool
+	p.Submit(1, ShardTask{Cost: 5, Run: func(vtime.Time) { panic("boom") }})
+	p.Submit(1, ShardTask{Cost: 5, Run: func(vtime.Time) { after.Store(true) }})
+	p.Close()
+	if gotShard.Load() != 1 {
+		t.Fatalf("panic handler saw shard %d, want 1", gotShard.Load())
+	}
+	if v, _ := gotVal.Load().(string); v != "boom" {
+		t.Fatalf("panic handler saw %v, want boom", gotVal.Load())
+	}
+	if !after.Load() {
+		t.Fatal("task queued after the panic never ran")
+	}
+	if p.Panics.Value() != 1 {
+		t.Fatalf("Panics=%d, want 1", p.Panics.Value())
+	}
+}
+
+// TestShardPoolStats: per-shard task counts reconcile with the submitted
+// totals on a fully skewed workload (everything on one shard).
+func TestShardPoolStats(t *testing.T) {
+	p := NewShardPool(4, 4)
+	const n = 400
+	block := make(chan struct{})
+	p.Submit(0, ShardTask{Cost: 1, Run: func(vtime.Time) { <-block }})
+	for i := 1; i < n; i++ {
+		p.Submit(0, ShardTask{Cost: 1, Run: func(vtime.Time) {}})
+	}
+	close(block)
+	p.Close()
+	if got := p.Stats(0).Tasks.Value(); got != n {
+		t.Fatalf("shard 0 completed %d tasks, want %d", got, n)
+	}
+	var total int64
+	for s := 0; s < p.Shards(); s++ {
+		total += p.Stats(s).Tasks.Value()
+	}
+	if total != n {
+		t.Fatalf("pool completed %d tasks, want %d", total, n)
+	}
+}
+
+// TestShardPoolSubmitAfterClose: late submissions run inline instead of
+// being dropped.
+func TestShardPoolSubmitAfterClose(t *testing.T) {
+	p := NewShardPool(2, 1)
+	p.Close()
+	ran := false
+	p.Submit(1, ShardTask{Cost: 5, Run: func(vtime.Time) { ran = true }})
+	if !ran {
+		t.Fatal("post-Close submit did not run inline")
+	}
+	if got := p.Stats(1).Tasks.Value(); got != 1 {
+		t.Fatalf("post-Close task not counted: Tasks=%d", got)
+	}
+}

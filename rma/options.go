@@ -123,10 +123,30 @@ func WithAtomicity(m serializer.Mechanism) Option {
 }
 
 // WithProbeCompletion forces Complete to use the probe round-trip even
-// when delivery counters could answer locally (Open only). For A/B
-// measurements; leave off in applications.
+// when delivery counters could answer locally (Open only).
+//
+// Deprecated: applications wanting per-operation completion should use
+// the Request surface — Await, Done, Err — instead of forcing probe
+// round-trips; the option remains for A/B measurements (experiment E13).
 func WithProbeCompletion() Option {
 	return func(c *config) { c.opts.ProbeCompletion = true }
+}
+
+// WithApplyShards partitions this rank's exposed memory into n byte-range
+// shards applied by a parallel worker pool (Open only): operations from
+// different origins to disjoint ranges apply concurrently, while spanning,
+// ordered, conflicting, and atomic operations keep serial-engine semantics
+// through a designated shard and the serializer (DESIGN.md §10). The
+// default (0 or 1) is the serial engine, bit-compatible by construction.
+func WithApplyShards(n int) Option {
+	return func(c *config) { c.opts.ApplyShards = n }
+}
+
+// WithApplyWorkers bounds the worker pool draining the apply shards (Open
+// only; 0 = one worker per shard). Passing WithApplyWorkers alone enables
+// sharding with that many shards.
+func WithApplyWorkers(n int) Option {
+	return func(c *config) { c.opts.ApplyWorkers = n }
 }
 
 // WithMetrics enables the telemetry registry at Open: every engine, NIC

@@ -113,6 +113,10 @@ var (
 	// budget ran out, the affected requests and Complete* calls fail with
 	// it (wrapped), and Session.Err() reports it sticky.
 	ErrLinkFailed = core.ErrLinkFailed
+	// ErrApplyFault marks a recovered target-side apply panic (a shard
+	// worker caught it): the session survives but its requests and waits
+	// fail with it, and Session.Err() reports it sticky.
+	ErrApplyFault = core.ErrApplyFault
 )
 
 // AllRanks, passed as the target of Complete or Order, covers every rank.
@@ -177,9 +181,11 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 }
 
 // Err reports the session's sticky failure: non-nil once any link's
-// reliable-delivery retry budget has been exhausted (see ErrLinkFailed).
-// A degraded session keeps working toward the surviving ranks; requests
-// and Complete* calls addressing the failed target return the error.
+// reliable-delivery retry budget has been exhausted (see ErrLinkFailed)
+// or a shard apply worker has panicked (see ErrApplyFault). A
+// link-degraded session keeps working toward the surviving ranks;
+// requests and Complete* calls addressing the failed target return the
+// error. An apply fault poisons the whole session.
 func (s *Session) Err() error { return s.eng.Err() }
 
 // Proc returns the owning simulated process.
@@ -307,28 +313,34 @@ func (s *Session) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, opts
 // aggregates without synchronizing.
 func (s *Session) Flush() { s.eng.Flush() }
 
-// Complete blocks until every operation this rank issued to the target
-// world rank (or AllRanks) has been applied there — MPI_RMA_complete.
-// With notified or batched operations it completes on delivery counters
-// without network traffic; otherwise it pays one probe round-trip per
-// target.
-func (s *Session) Complete(target int) error {
-	return s.eng.Complete(s.comm, target)
+// Complete blocks until every operation this rank issued to the given
+// target world ranks has been applied there — MPI_RMA_complete. With no
+// arguments it covers every rank (what CompleteAll used to spell);
+// duplicate targets are collapsed. With notified or batched operations it
+// completes on delivery counters without network traffic; otherwise it
+// pays one probe round-trip per target.
+func (s *Session) Complete(targets ...int) error {
+	return s.eng.Complete(s.comm, targets...)
 }
 
-// CompleteAll is Complete(AllRanks).
-func (s *Session) CompleteAll() error { return s.eng.Complete(s.comm, AllRanks) }
+// CompleteAll completes toward every rank.
+//
+// Deprecated: call Complete with no arguments instead.
+func (s *Session) CompleteAll() error { return s.Complete() }
 
 // CompleteCollective is the collective completion: every rank calls it; on
 // return every operation issued by anyone to anyone has been applied.
 func (s *Session) CompleteCollective() error { return s.eng.CompleteCollective(s.comm) }
 
-// Order guarantees operations issued to the target before the call apply
-// before operations issued after it — MPI_RMA_order, the weak
-// (fence-style) synchronization.
-func (s *Session) Order(target int) error {
-	return s.eng.Order(s.comm, target)
+// Order guarantees operations issued to the given targets before the call
+// apply before operations issued after it — MPI_RMA_order, the weak
+// (fence-style) synchronization. With no arguments it covers every rank
+// (what OrderAll used to spell).
+func (s *Session) Order(targets ...int) error {
+	return s.eng.Order(s.comm, targets...)
 }
 
-// OrderAll is Order(AllRanks).
-func (s *Session) OrderAll() error { return s.eng.Order(s.comm, AllRanks) }
+// OrderAll orders toward every rank.
+//
+// Deprecated: call Order with no arguments instead.
+func (s *Session) OrderAll() error { return s.Order() }
