@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench
+.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own RMA static analyzers (lostrequest,
-# epochorder, attrmisuse, boundscheck); see cmd/rmalint.
+# epochorder, attrmisuse, boundscheck, deprecated); see cmd/rmalint.
 lint: vet
 	$(GO) run ./cmd/rmalint ./...
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./...
 
 smoke:
-	$(GO) test -run TestE13Smoke -count=1 ./internal/bench/
+	$(GO) test -run 'TestE13Smoke|TestE15Smoke' -count=1 ./internal/bench/
 
 # bench-smoke runs the E14 sharded-apply sweep at a single payload: slot
 # contents must verify byte-exactly and model time must not regress as
@@ -46,7 +46,26 @@ smoke-metrics:
 # retransmissions must actually happen, and an exhausted retry budget
 # must surface ErrLinkFailed instead of hanging.
 chaos:
-	$(GO) test -race -count=1 -run 'FaultChaos|LinkFailed|ChaosSmoke|Relay|FacadeWithFaults|FacadeLinkFailure' ./internal/core/ ./internal/bench/ ./internal/portals/ ./rma/
+	$(GO) test -race -count=1 -run 'FaultChaos|EventChaos|LinkFailed|ChaosSmoke|Relay|FacadeWithFaults|FacadeLinkFailure' ./internal/core/ ./internal/bench/ ./internal/portals/ ./rma/
 
 bench:
 	$(GO) run ./cmd/rmabench
+
+# bench-json regenerates the committed benchmark baselines (one artifact
+# per tracked experiment: model + wall time and allocs/op). Run it — and
+# review the diff — whenever a change intentionally moves modelled cost.
+bench-json:
+	$(GO) run ./cmd/rmabench -exp e13 -json BENCH_E13.json
+	$(GO) run ./cmd/rmabench -exp e14 -json BENCH_E14.json
+	$(GO) run ./cmd/rmabench -exp e15 -json BENCH_E15.json
+
+# bench-diff regenerates fresh artifacts into /tmp and gates them against
+# the committed baselines: modelled-time drift beyond 5% hard-fails, wall
+# time and allocs/op drift only warn (host noise).
+bench-diff:
+	$(GO) run ./cmd/rmabench -exp e13 -json /tmp/rmabench-e13.json > /dev/null
+	$(GO) run ./cmd/rmabench -exp e14 -json /tmp/rmabench-e14.json > /dev/null
+	$(GO) run ./cmd/rmabench -exp e15 -json /tmp/rmabench-e15.json > /dev/null
+	$(GO) run ./cmd/benchdiff BENCH_E13.json /tmp/rmabench-e13.json
+	$(GO) run ./cmd/benchdiff BENCH_E14.json /tmp/rmabench-e14.json
+	$(GO) run ./cmd/benchdiff BENCH_E15.json /tmp/rmabench-e15.json

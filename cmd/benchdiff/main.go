@@ -1,0 +1,64 @@
+// Command benchdiff compares a freshly generated benchmark artifact
+// (rmabench -exp <id> -json <file>) against its committed baseline
+// (BENCH_<ID>.json) and gates CI on the result:
+//
+//   - hard failure (exit 1): modelled-time drift beyond tolerance,
+//     vanished data points, or a FAIL self-check note — the LogGP model
+//     is deterministic, so modelled drift means the protocol's cost
+//     behaviour actually changed and the baseline must be either fixed
+//     or consciously regenerated (make bench-baselines);
+//   - warning (exit 0): wall-time and allocs/op drift — host- and
+//     runtime-dependent, reported for trend-watching only.
+//
+// Usage:
+//
+//	benchdiff [-model-tol 0.05] baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpi3rma/internal/bench"
+)
+
+func main() {
+	modelTol := flag.Float64("model-tol", 0.05, "relative modelled-time drift tolerated before hard failure")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-model-tol f] baseline.json current.json")
+		os.Exit(2)
+	}
+	baseline := readArtifact(flag.Arg(0))
+	current := readArtifact(flag.Arg(1))
+
+	rep := bench.CompareBenchJSON(baseline, current, bench.DiffOptions{ModelTol: *modelTol})
+	for _, w := range rep.Warnings {
+		fmt.Printf("warn: %s\n", w)
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("FAIL: %s\n", f)
+	}
+	if !rep.OK() {
+		fmt.Printf("benchdiff: %s: %d failure(s) against %s\n", current.Experiment, len(rep.Failures), flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s: %d data points within %.0f%% modelled tolerance (%d warnings)\n",
+		current.Experiment, len(baseline.Rows), 100**modelTol, len(rep.Warnings))
+}
+
+func readArtifact(path string) bench.BenchJSON {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	art, err := bench.ReadBenchJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return art
+}

@@ -36,6 +36,7 @@ func main() {
 	plot := flag.Bool("plot", false, "append an ASCII summary plot per experiment")
 	metrics := flag.Bool("metrics", false, "collect telemetry and print each experiment's metrics snapshot as JSON")
 	traceOut := flag.String("trace", "", "collect telemetry and write the merged trace timeline + spans JSON to this file")
+	jsonOut := flag.String("json", "", "write the benchmark artifact (model+wall time, allocs) for a single -exp to this file (see cmd/benchdiff)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	chaos := flag.Bool("chaos", false, "run the seeded chaos fault matrix (shorthand for -exp chaos)")
 	flag.Parse()
@@ -49,6 +50,11 @@ func main() {
 	}
 	if *metrics || *traceOut != "" {
 		bench.SetTelemetry(true)
+	}
+
+	if *jsonOut != "" {
+		writeBenchArtifact(*exp, *jsonOut)
+		return
 	}
 
 	var results []bench.Result
@@ -80,6 +86,36 @@ func main() {
 			writeTrace(res, *traceOut, len(results) > 1)
 		}
 	}
+}
+
+// writeBenchArtifact runs one experiment with allocation accounting and
+// writes its benchmark artifact — the file cmd/benchdiff compares against
+// the committed BENCH_<ID>.json baselines.
+func writeBenchArtifact(exp, path string) {
+	if exp == "all" || strings.Contains(exp, ",") {
+		fmt.Fprintln(os.Stderr, "rmabench: -json needs a single -exp id (one artifact per experiment)")
+		os.Exit(2)
+	}
+	res, allocs, ok := bench.ByNameWithAllocs(exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rmabench: unknown experiment %q (try -list)\n", exp)
+		os.Exit(2)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: %v\n", err)
+		os.Exit(1)
+	}
+	art := bench.BenchArtifact(res, allocs)
+	if err := bench.WriteBenchJSON(f, art); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: closing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark artifact written to %s (%d rows, %d allocs)\n", path, len(art.Rows), art.TotalAllocs)
 }
 
 // emitMetrics prints one experiment's metrics snapshot as JSON, validating

@@ -158,5 +158,6 @@ func All() []*Analyzer {
 		EpochOrderAnalyzer,
 		AttrMisuseAnalyzer,
 		BoundsCheckAnalyzer,
+		DeprecatedAnalyzer,
 	}
 }

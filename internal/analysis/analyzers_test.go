@@ -33,6 +33,10 @@ func TestBoundsCheck(t *testing.T) {
 	RunGolden(t, BoundsCheckAnalyzer, "mpi3rma/internal/analysis/testdata/src/boundscheck")
 }
 
+func TestDeprecated(t *testing.T) {
+	RunGolden(t, DeprecatedAnalyzer, "mpi3rma/internal/analysis/testdata/src/deprecated")
+}
+
 // TestSuppressionParsing pins the //rmalint:ignore scope rules: same line
 // and the line below, per-analyzer when named, everything when bare.
 func TestSuppressionParsing(t *testing.T) {

@@ -28,6 +28,7 @@ var sessionOnly = map[string]string{
 	"WithProbeCompletion": "probe-forced completion is chosen at Open",
 	"WithMetrics":         "telemetry is enabled at Open",
 	"WithTracing":         "tracing is enabled at Open",
+	"WithEvents":          "the completion-event queue is installed at Open",
 	"WithChecker":         "the semantic checker is enabled at Open",
 	"WithFaults":          "fault injection is installed at Open",
 	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",

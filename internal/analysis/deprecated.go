@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeprecatedAnalyzer reports calls to the facade's deprecated wrappers —
+// kept only so old callers keep compiling — and misuse of the
+// event-driven completion surface that replaces them.
+var DeprecatedAnalyzer = &Analyzer{
+	Name: "deprecated",
+	Doc: "finds calls to deprecated rma wrappers (CompleteAll, OrderAll,\n" +
+		"WithProbeCompletion) with their modern replacements, Select calls\n" +
+		"with zero cases (always ErrBadHandle), and OnDone registered twice\n" +
+		"on the same request within one function (both callbacks run; a\n" +
+		"second registration is usually a refactoring leftover).",
+	Run: runDeprecated,
+}
+
+// deprecatedCalls maps the compatibility wrappers to their replacements.
+var deprecatedCalls = map[string]string{
+	rmaPath + ".Session.CompleteAll": "CompleteAll is deprecated: call Complete() — variadic, no arguments covers every rank",
+	rmaPath + ".Session.OrderAll":    "OrderAll is deprecated: call Order() — variadic, no arguments covers every rank",
+	rmaPath + ".WithProbeCompletion": "WithProbeCompletion is deprecated: use the Request surface (Await/Done/OnDone) for per-operation completion; keep it only for probe-vs-counter A/B measurements",
+}
+
+// selectCalls are the any-of multiplexers that reject zero cases.
+var selectCalls = map[string]bool{
+	rmaPath + ".Session.Select": true,
+	corePath + ".Engine.Select": true,
+}
+
+// onDoneCalls are the completion-callback registrars. rma.Request is a
+// type alias of core.Request, so method keys resolve to the core path.
+var onDoneCalls = map[string]bool{
+	corePath + ".Request.OnDone": true,
+}
+
+func runDeprecated(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// OnDone registrations seen in this function, keyed by the
+			// receiver variable's object: distinct call sites on the same
+			// request are flagged from the second one on.
+			onDoneSeen := map[types.Object]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key := calleeKey(pass.TypesInfo, call)
+				if msg, ok := deprecatedCalls[key]; ok && msg != "" {
+					pass.Reportf(call.Pos(), "%s", msg)
+					return true
+				}
+				if selectCalls[key] && len(call.Args) == 0 {
+					pass.Reportf(call.Pos(), "Select with zero cases always fails with ErrBadHandle; pass at least one OnRequest/OnApplied/OnConfirmed/OnQuiescent case")
+					return true
+				}
+				if onDoneCalls[key] {
+					if obj := receiverObject(pass.TypesInfo, call); obj != nil {
+						if onDoneSeen[obj] {
+							pass.Reportf(call.Pos(), "OnDone registered again on %q in this function; every registered callback runs on completion — drop one unless both are intended", obj.Name())
+						}
+						onDoneSeen[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// receiverObject resolves the variable a method call's receiver names
+// (x in x.OnDone(...)), or nil for chained/complex receivers where
+// identity cannot be tracked syntactically.
+func receiverObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}

@@ -12,6 +12,7 @@ func sessionOnlyOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(8), rma.WithBlocking())                                         // want "WithBatch is ignored on Put"
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithMetrics(), rma.WithBlocking())                                        // want "WithMetrics is ignored on Put"
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithEvents(16), rma.WithBlocking())                                       // want "WithEvents is ignored on Put"
 	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomicity(serializer.MechThread), rma.WithBlocking()) // want "WithAtomicity is ignored on Accumulate"
 	_ = s.CompleteAll()
 }

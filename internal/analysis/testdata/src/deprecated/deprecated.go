@@ -1,0 +1,62 @@
+// Package deprecated is the golden input for the deprecated analyzer.
+package deprecated
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func deprecatedWrappers(p *runtime.Proc) {
+	s := rma.Open(p, rma.WithProbeCompletion()) // want "WithProbeCompletion is deprecated"
+	_ = s.CompleteAll()                         // want "CompleteAll is deprecated"
+	_ = s.OrderAll()                            // want "OrderAll is deprecated"
+}
+
+func modernSpellingsAreClean(p *runtime.Proc) {
+	s := rma.Open(p)
+	_ = s.Complete()
+	_ = s.Complete(1, 2)
+	_ = s.Order()
+	_ = s.Order(3)
+}
+
+func emptySelect(p *runtime.Proc) {
+	s := rma.Open(p)
+	_, _, _ = s.Select() // want "Select with zero cases always fails"
+}
+
+func selectWithCasesIsClean(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	req, _ := s.Put(src, 1, rma.Int64, tm, 0)
+	_, _, _ = s.Select(rma.OnRequest(req), rma.OnQuiescent(tm.Owner))
+}
+
+func doubleOnDone(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	req, _ := s.Put(src, 1, rma.Int64, tm, 0)
+	req.OnDone(func(error) {})
+	req.OnDone(func(error) {}) // want "OnDone registered again"
+}
+
+func onDoneOnDistinctRequestsIsClean(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	a, _ := s.Put(src, 1, rma.Int64, tm, 0)
+	b, _ := s.Put(src, 1, rma.Int64, tm, 8)
+	a.OnDone(func(error) {})
+	b.OnDone(func(error) {})
+	// One call site inside a loop registers many callbacks on many
+	// requests — not statically a double registration.
+	for i := 0; i < 4; i++ {
+		req, _ := s.Put(src, 1, rma.Int64, tm, i*8)
+		req.OnDone(func(error) {})
+	}
+}
+
+func suppressedDeprecation(p *runtime.Proc) {
+	s := rma.Open(p)
+	//rmalint:ignore deprecated compat shim kept on purpose
+	_ = s.CompleteAll()
+}

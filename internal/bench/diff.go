@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiffOptions tunes CompareBenchJSON.
+type DiffOptions struct {
+	// ModelTol is the relative modelled-time drift tolerated before a
+	// hard failure (default 0.05: the few-percent scheduling sensitivity
+	// EXPERIMENTS.md documents, with headroom).
+	ModelTol float64
+	// WallWarnFactor flags wall-time drift beyond this ratio as a
+	// warning (default 3: wall time is host noise; only an
+	// order-of-magnitude change is worth a look).
+	WallWarnFactor float64
+	// AllocWarnFactor flags per-op allocation growth beyond this ratio
+	// as a warning (default 1.5).
+	AllocWarnFactor float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.ModelTol <= 0 {
+		o.ModelTol = 0.05
+	}
+	if o.WallWarnFactor <= 0 {
+		o.WallWarnFactor = 3
+	}
+	if o.AllocWarnFactor <= 0 {
+		o.AllocWarnFactor = 1.5
+	}
+	return o
+}
+
+// DiffReport is the outcome of one baseline/current comparison.
+type DiffReport struct {
+	// Failures hard-fail CI: modelled-time drift beyond tolerance,
+	// vanished data points, or a FAIL self-check note in the current run.
+	Failures []string
+	// Warnings are advisory: wall-time and allocation drift, new points.
+	Warnings []string
+}
+
+// OK reports whether the comparison found no hard failure.
+func (r DiffReport) OK() bool { return len(r.Failures) == 0 }
+
+func (r *DiffReport) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *DiffReport) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+type diffKey struct {
+	series string
+	size   int
+}
+
+// CompareBenchJSON diffs a current benchmark artifact against its
+// committed baseline. The modelled series is the contract: every baseline
+// data point must still exist and its modelled time must sit within
+// ModelTol relative drift. Wall time and allocations are compared
+// warn-only, and any FAIL: self-check note in the current run is a hard
+// failure regardless of timing.
+func CompareBenchJSON(baseline, current BenchJSON, opts DiffOptions) DiffReport {
+	opts = opts.withDefaults()
+	var rep DiffReport
+	if baseline.Experiment != current.Experiment {
+		rep.failf("experiment mismatch: baseline %q vs current %q", baseline.Experiment, current.Experiment)
+		return rep
+	}
+	cur := make(map[diffKey]BenchJSONRow, len(current.Rows))
+	for _, r := range current.Rows {
+		cur[diffKey{r.Series, r.Size}] = r
+	}
+	seen := make(map[diffKey]bool, len(baseline.Rows))
+	for _, base := range baseline.Rows {
+		k := diffKey{base.Series, base.Size}
+		seen[k] = true
+		now, ok := cur[k]
+		if !ok {
+			rep.failf("%s: data point (%q, %d) vanished from the current run", baseline.Experiment, base.Series, base.Size)
+			continue
+		}
+		if base.ModelUS > 0 {
+			drift := math.Abs(now.ModelUS-base.ModelUS) / base.ModelUS
+			if drift > opts.ModelTol {
+				rep.failf("%s: (%q, %d) modelled time drifted %.1f%% (baseline %.2fus, current %.2fus, tolerance %.0f%%)",
+					baseline.Experiment, base.Series, base.Size, 100*drift, base.ModelUS, now.ModelUS, 100*opts.ModelTol)
+			}
+		}
+		if base.WallNS > 0 && now.WallNS > 0 {
+			ratio := now.WallNS / base.WallNS
+			if ratio > opts.WallWarnFactor || ratio < 1/opts.WallWarnFactor {
+				rep.warnf("%s: (%q, %d) wall time ratio %.2fx (baseline %.0fns, current %.0fns) — host noise unless it trends",
+					baseline.Experiment, base.Series, base.Size, ratio, base.WallNS, now.WallNS)
+			}
+		}
+	}
+	for _, r := range current.Rows {
+		if k := (diffKey{r.Series, r.Size}); !seen[k] {
+			rep.warnf("%s: new data point (%q, %d) has no baseline — refresh with make bench-json", current.Experiment, r.Series, r.Size)
+		}
+	}
+	if baseline.AllocsPerOp > 0 && current.AllocsPerOp > baseline.AllocsPerOp*opts.AllocWarnFactor {
+		rep.warnf("%s: allocs/op grew %.2fx (baseline %.0f, current %.0f)",
+			current.Experiment, current.AllocsPerOp/baseline.AllocsPerOp, baseline.AllocsPerOp, current.AllocsPerOp)
+	}
+	for _, n := range current.Notes {
+		if len(n) >= 5 && n[:5] == "FAIL:" {
+			rep.failf("%s: self-check failed: %s", current.Experiment, n)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func diffFixture() BenchJSON {
+	return BenchJSON{
+		Experiment:  "e15",
+		Title:       "t",
+		TotalAllocs: 1000,
+		AllocsPerOp: 100,
+		Rows: []BenchJSONRow{
+			{Series: "a", Size: 0, ModelUS: 100, WallNS: 5000},
+			{Series: "a", Size: 8, ModelUS: 200, WallNS: 9000},
+			{Series: "b", Size: 8, ModelUS: 150, WallNS: 7000},
+		},
+		Notes: []string{"PASS: shape holds"},
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	art := diffFixture()
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, art); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	rep := CompareBenchJSON(art, back, DiffOptions{})
+	if !rep.OK() || len(rep.Warnings) != 0 {
+		t.Fatalf("round-tripped artifact not identical to itself: %+v", rep)
+	}
+}
+
+func TestCompareBenchJSONModelDrift(t *testing.T) {
+	base := diffFixture()
+	cur := diffFixture()
+	cur.Rows[1].ModelUS = 220 // +10% > 5% tolerance
+	rep := CompareBenchJSON(base, cur, DiffOptions{})
+	if rep.OK() {
+		t.Fatal("10% modelled drift passed a 5% tolerance")
+	}
+	if !strings.Contains(rep.Failures[0], "drifted") {
+		t.Errorf("unexpected failure text: %s", rep.Failures[0])
+	}
+	// Inside tolerance passes.
+	cur.Rows[1].ModelUS = 207 // +3.5%
+	if rep := CompareBenchJSON(base, cur, DiffOptions{}); !rep.OK() {
+		t.Fatalf("3.5%% drift failed a 5%% tolerance: %+v", rep.Failures)
+	}
+}
+
+func TestCompareBenchJSONWallAndAllocsWarnOnly(t *testing.T) {
+	base := diffFixture()
+	cur := diffFixture()
+	cur.Rows[0].WallNS = 50000 // 10x wall: warn, not fail
+	cur.AllocsPerOp = 500      // 5x allocs: warn, not fail
+	rep := CompareBenchJSON(base, cur, DiffOptions{})
+	if !rep.OK() {
+		t.Fatalf("wall/alloc drift hard-failed: %+v", rep.Failures)
+	}
+	if len(rep.Warnings) != 2 {
+		t.Fatalf("want 2 warnings (wall, allocs), got %+v", rep.Warnings)
+	}
+}
+
+func TestCompareBenchJSONStructural(t *testing.T) {
+	base := diffFixture()
+	cur := diffFixture()
+	cur.Rows = cur.Rows[:2] // series b vanished
+	if rep := CompareBenchJSON(base, cur, DiffOptions{}); rep.OK() {
+		t.Fatal("vanished data point passed")
+	}
+	cur = diffFixture()
+	cur.Notes = append(cur.Notes, "FAIL: overlap claim broke")
+	if rep := CompareBenchJSON(base, cur, DiffOptions{}); rep.OK() {
+		t.Fatal("FAIL self-check note passed")
+	}
+	cur = diffFixture()
+	cur.Experiment = "e14"
+	if rep := CompareBenchJSON(base, cur, DiffOptions{}); rep.OK() {
+		t.Fatal("experiment mismatch passed")
+	}
+	// New data points warn but pass (baseline refresh reminder).
+	cur = diffFixture()
+	cur.Rows = append(cur.Rows, BenchJSONRow{Series: "c", Size: 8, ModelUS: 1})
+	rep := CompareBenchJSON(base, cur, DiffOptions{})
+	if !rep.OK() || len(rep.Warnings) == 0 {
+		t.Fatalf("new data point: %+v", rep)
+	}
+}

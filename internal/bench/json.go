@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// BenchJSON is the machine-readable benchmark artifact `rmabench -json`
+// emits and cmd/benchdiff compares: one file per experiment, holding every
+// data point's modelled and wall time plus the run's allocation count.
+//
+// The modelled series is the contract: it is derived from the LogGP
+// virtual-time model and deterministic up to the few-percent scheduling
+// sensitivity documented in EXPERIMENTS.md, so CI hard-fails on drift
+// beyond a small tolerance. Wall time and allocations are host- and
+// runtime-dependent; they ride along for trend-watching and are compared
+// warn-only.
+type BenchJSON struct {
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Rows       []BenchJSONRow `json:"rows"`
+	// TotalAllocs counts heap allocations (runtime.MemStats.Mallocs
+	// delta) across the whole experiment run.
+	TotalAllocs uint64 `json:"total_allocs"`
+	// AllocsPerOp divides TotalAllocs over the experiment's data points —
+	// the per-measured-cell allocation budget benchdiff trend-checks.
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	Notes       []string `json:"notes,omitempty"`
+}
+
+// BenchJSONRow is one data point.
+type BenchJSONRow struct {
+	Series  string             `json:"series"`
+	Size    int                `json:"size"`
+	ModelUS float64            `json:"model_us"`
+	WallNS  float64            `json:"wall_ns"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+// ByNameWithAllocs runs one experiment like ByName while measuring its
+// heap allocation count.
+func ByNameWithAllocs(name string) (Result, uint64, bool) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, ok := ByName(name)
+	runtime.ReadMemStats(&after)
+	return res, after.Mallocs - before.Mallocs, ok
+}
+
+// BenchArtifact assembles the JSON artifact for one experiment run.
+func BenchArtifact(res Result, allocs uint64) BenchJSON {
+	art := BenchJSON{
+		Experiment:  res.Name,
+		Title:       res.Title,
+		TotalAllocs: allocs,
+		Notes:       res.Notes,
+	}
+	for _, r := range res.Rows {
+		row := BenchJSONRow{
+			Series:  r.Series,
+			Size:    r.Size,
+			ModelUS: r.ModelUS,
+			WallNS:  r.WallNS,
+		}
+		if len(r.Extra) > 0 {
+			row.Extra = r.Extra
+		}
+		art.Rows = append(art.Rows, row)
+	}
+	if n := len(art.Rows); n > 0 {
+		art.AllocsPerOp = float64(allocs) / float64(n)
+	}
+	return art
+}
+
+// WriteBenchJSON writes the artifact, indented for reviewable baselines.
+func WriteBenchJSON(w io.Writer, art BenchJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}
+
+// ReadBenchJSON parses an artifact written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) (BenchJSON, error) {
+	var art BenchJSON
+	err := json.NewDecoder(r).Decode(&art)
+	return art, err
+}

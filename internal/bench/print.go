@@ -150,6 +150,7 @@ func All() []Result {
 		RunE12(),
 		RunE13(),
 		RunE14(),
+		RunE15(),
 	}
 }
 
@@ -182,6 +183,8 @@ func ByName(name string) (Result, bool) {
 		return RunE13(), true
 	case "e14":
 		return RunE14(), true
+	case "e15":
+		return RunE15(), true
 	case "chaos":
 		return RunChaos(), true
 	default:
@@ -191,5 +194,5 @@ func ByName(name string) (Result, bool) {
 
 // Names lists the experiment ids ByName accepts.
 func Names() []string {
-	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "chaos"}
+	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "chaos"}
 }

@@ -123,6 +123,14 @@ func (e *Engine) batchable(op OpType, attrs Attr, packed int) bool {
 // origin data is packed immediately, so the origin buffer is reusable on
 // return and non-remote-complete members complete at once.
 func (e *Engine) appendBatch(accOp AccOp, scale float64, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, attrs Attr) (*Request, error) {
+	// A sticky failure means the aggregate could never be delivered or
+	// notified. The singleton path surfaces this at issue (the relay
+	// refuses senders to failed links); surfacing it here too keeps the
+	// batched path from parking a request in a ring whose failing flush
+	// may be arbitrarily far away — a lost wakeup for Await/Done/OnDone.
+	if err := e.stickyFor(tm.Owner); err != nil {
+		return nil, fmt.Errorf("core: batch to rank %d: %w", tm.Owner, err)
+	}
 	wire := wireBuf(datatype.PackedSize(ocount, odt))
 	src := e.proc.Mem().Snapshot(origin.Offset, datatype.ExtentOf(ocount, odt))
 	if err := datatype.PackInto(wire, src, ocount, odt, e.proc.ByteOrder()); err != nil {
@@ -572,18 +580,43 @@ func (e *Engine) handleNotify(m *simnet.Message, at vtime.Time) {
 
 // noteConfirmed raises the origin-side cumulative confirmation counter for
 // a target. Reports carry cumulative counts and are folded with max(), so
-// duplicates and reordering are harmless.
+// duplicates and reordering are harmless — and because EvConfirm is
+// published only when the fold actually raised the counter, the event
+// stream inherits that monotonicity: duplicates publish nothing.
 func (e *Engine) noteConfirmed(target int, count int64, at vtime.Time) {
 	if count <= 0 {
 		return
 	}
+	raised := false
+	var fired []*countWaiter
 	e.cmplMu.Lock()
 	if count > e.confirmed[target] {
 		e.confirmed[target] = count
 		e.confirmedAt[target] = vtime.Later(e.confirmedAt[target], at)
+		raised = true
+		fired = serviceWaiters(&e.confirmWaiters, target, count, at, nil)
 		e.cmplCond.Broadcast()
 	}
 	e.cmplMu.Unlock()
+	closeWaiters(fired)
+	if !raised {
+		return
+	}
+	if q := e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvConfirm, At: at, Rank: target, Count: count})
+		// Quiescence: the target has now confirmed everything issued to
+		// it. sent is read after the fold, so a false positive is
+		// impossible (sent only grows; confirmed <= sent always).
+		e.mu.Lock()
+		var sent int64
+		if ts := e.targets[target]; ts != nil {
+			sent = ts.sent
+		}
+		e.mu.Unlock()
+		if sent > 0 && count >= sent {
+			q.push(Event{Kind: EvQuiescent, At: at, Rank: target, Count: count})
+		}
+	}
 }
 
 // tryConfirmed reports whether the target has already confirmed

@@ -197,13 +197,24 @@ type Engine struct {
 	// target-side apply pipeline itself is no longer trustworthy.
 	applyErr error
 
+	// confirmWaiters are Select count-threshold waiters on the
+	// confirmation counters, serviced by noteConfirmed and failed by
+	// onLinkFailed/failEngine (guarded by cmplMu like the counters).
+	confirmWaiters []*countWaiter
+
 	// Target-side state, guarded by tgtMu because applies may run on the
 	// NIC agent, the thread serializer, or a Progress call. tgtCond wakes
-	// local waiters (the collective-completion fast path).
+	// local waiters (the collective-completion fast path). appliedAt is
+	// the per-origin virtual time of the latest application, the stamp
+	// Select's already-satisfied fast path reports. applyWaiters are
+	// Select count-threshold waiters on the delivery counters, serviced
+	// by noteApplied.
 	tgtMu        sync.Mutex
 	tgtCond      *sync.Cond
 	lastApplied  vtime.Time
 	applied      map[int]int64
+	appliedAt    map[int]vtime.Time
+	applyWaiters []*countWaiter
 	probeWaiters []probeWaiter
 	reorder      map[int]*reorderBuf
 	lanes        map[int]*vtime.Clock
@@ -249,21 +260,26 @@ type Engine struct {
 	// one atomic load per apply.
 	chk atomic.Pointer[recorderCell]
 
+	// evq is the completion-event queue installed by EnableEvents (nil
+	// until then). Publication sites load it once; disabled runs pay one
+	// atomic load and construct nothing.
+	evq atomic.Pointer[CompletionQueue]
+
 	// Counters.
-	OpsIssued      stats.Counter
-	OpsApplied     stats.Counter
-	AcksSent       stats.Counter
-	Probes         stats.Counter
-	HeldOps        stats.Counter // ordered ops buffered due to out-of-order arrival
-	FenceStalls    stats.Counter // Order()-induced stalls before an op issue
-	Batches        stats.Counter // aggregated messages sent
-	BatchedOps     stats.Counter // operations that rode an aggregated message
-	SingletonOps   stats.Counter // operations that paid their own wire message
-	Notifies       stats.Counter // delivery-counter notifications received
-	FastPaths      stats.Counter // Complete calls answered from counters, no probe
-	CompleteCalls  stats.Counter // Complete invocations
-	ProbeFallbacks stats.Counter // Complete targets that needed the probe round-trip
-	ShardBypass    stats.Counter // applies routed around the shard pool (serializer/serial path)
+	OpsIssued       stats.Counter
+	OpsApplied      stats.Counter
+	AcksSent        stats.Counter
+	Probes          stats.Counter
+	HeldOps         stats.Counter // ordered ops buffered due to out-of-order arrival
+	FenceStalls     stats.Counter // Order()-induced stalls before an op issue
+	Batches         stats.Counter // aggregated messages sent
+	BatchedOps      stats.Counter // operations that rode an aggregated message
+	SingletonOps    stats.Counter // operations that paid their own wire message
+	Notifies        stats.Counter // delivery-counter notifications received
+	FastPaths       stats.Counter // Complete calls answered from counters, no probe
+	CompleteCalls   stats.Counter // Complete invocations
+	ProbeFallbacks  stats.Counter // Complete targets that needed the probe round-trip
+	ShardBypass     stats.Counter // applies routed around the shard pool (serializer/serial path)
 	ShardDesignated stats.Counter // applies routed through the designated shard
 }
 
@@ -292,6 +308,7 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 			pendingBatches: make(map[uint64]*pendingBatch),
 			failedLinks:    make(map[int]error),
 			applied:        make(map[int]int64),
+			appliedAt:      make(map[int]vtime.Time),
 			reorder:        make(map[int]*reorderBuf),
 			lanes:          make(map[int]*vtime.Clock),
 			lock:           serializer.NewLockState(),
@@ -385,12 +402,16 @@ func (e *Engine) applyCost(n int) time.Duration {
 	return e.opts.ApplyOverhead + time.Duration(int64(n)*int64(e.opts.ApplyPerKB)/1024)
 }
 
-// Close shuts down the engine's serializer goroutine, if any. World.Close
-// invokes it for every attached engine; it is idempotent.
+// Close shuts down the engine's serializer goroutine, if any, and wakes
+// completion-queue waiters. World.Close invokes it for every attached
+// engine; it is idempotent.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		if e.applyQ != nil {
 			e.applyQ.Close()
+		}
+		if q := e.evq.Load(); q != nil {
+			q.close()
 		}
 	})
 }
@@ -407,14 +428,19 @@ func (e *Engine) Progress() int {
 }
 
 // noteApplied is shared post-apply bookkeeping: count the op, wake
-// satisfied completion probes, and return the new cumulative applied count
-// for src — the value every target→origin report carries back as the
-// delivery counter of the notified-completion protocol.
+// satisfied completion probes and Select waiters, publish the EvDelivery
+// event, and return the new cumulative applied count for src — the value
+// every target→origin report carries back as the delivery counter of the
+// notified-completion protocol. This is the watermark join: every applied
+// operation, on every path (serial, sharded, serialized), funnels through
+// here under tgtMu, so feeding events at this point gives the queue the
+// exact counter movements Complete/Order observe.
 func (e *Engine) noteApplied(src int, at vtime.Time) int64 {
 	e.OpsApplied.Inc()
 	e.tgtMu.Lock()
 	e.applied[src]++
 	count := e.applied[src]
+	e.appliedAt[src] = vtime.Later(e.appliedAt[src], at)
 	if at > e.lastApplied {
 		e.lastApplied = at
 	}
@@ -428,8 +454,13 @@ func (e *Engine) noteApplied(src int, at vtime.Time) int64 {
 		}
 	}
 	e.probeWaiters = rest
+	fired := serviceWaiters(&e.applyWaiters, src, count, at, nil)
 	e.tgtCond.Broadcast()
 	e.tgtMu.Unlock()
+	closeWaiters(fired)
+	if q := e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvDelivery, At: at, Rank: src, Count: count})
+	}
 	for _, w := range ready {
 		e.sendProbeAck(w, count, at)
 	}
@@ -521,6 +552,18 @@ func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
 	}
 }
 
+// stickyFor returns the sticky failure that would keep operations to a
+// world rank from ever completing: the engine-fatal apply fault, or the
+// target's failed link.
+func (e *Engine) stickyFor(world int) error {
+	e.cmplMu.Lock()
+	defer e.cmplMu.Unlock()
+	if e.applyErr != nil {
+		return e.applyErr
+	}
+	return e.failedLinks[world]
+}
+
 // Err reports the engine's sticky failure: non-nil once any link's retry
 // budget has been exhausted. Individual operations to the failed target
 // return (or complete their requests with) an error wrapping
@@ -560,8 +603,10 @@ func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
 		delete(e.pendingBatches, id)
 		victims = append(victims, pb.reqs...)
 	}
+	failedWaiters := serviceWaiters(&e.confirmWaiters, dst, 0, at, err)
 	e.cmplCond.Broadcast()
 	e.cmplMu.Unlock()
+	closeWaiters(failedWaiters)
 
 	e.mu.Lock()
 	for _, r := range e.reqs {
@@ -578,6 +623,9 @@ func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
 	e.tgtMu.Lock()
 	e.tgtCond.Broadcast()
 	e.tgtMu.Unlock()
+	if q := e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvFault, At: at, Rank: dst, Err: err})
+	}
 }
 
 // sendProbeAck answers a completion probe at virtual time at. The answer

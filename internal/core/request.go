@@ -25,6 +25,12 @@ type Request struct {
 	err  error
 	ch   chan struct{} // created lazily on the first Wait/Done
 
+	// onDone holds completion callbacks registered before the request
+	// finished; finish captures and clears them under mu, so each runs
+	// exactly once (callbacks registered after completion run inline in
+	// OnDone instead).
+	onDone []func(error)
+
 	// onData, if set, consumes reply payload (get data) on the delivery
 	// goroutine before the request is completed; an error fails the
 	// request instead of completing it.
@@ -81,6 +87,14 @@ func (r *Request) completeErr(at vtime.Time, err error) {
 	r.finish(at, nil, err)
 }
 
+// finish is the single terminal transition of a request. The ordering
+// inside the critical section is the Done/Err contract: err (and at, val)
+// are stored strictly before the completion channel is closed, under the
+// same mutex Err acquires, so a goroutine released by <-Done() — or by
+// Wait, Await, or Select — always observes the request's error. Callbacks
+// run after the lock is released (still exactly once: finish is
+// idempotent and captures-and-clears the list), so an OnDone callback may
+// itself call request or engine methods without deadlocking.
 func (r *Request) finish(at vtime.Time, val []byte, err error) {
 	r.mu.Lock()
 	if r.done {
@@ -91,6 +105,8 @@ func (r *Request) finish(at vtime.Time, val []byte, err error) {
 	r.at = at
 	r.val = val
 	r.err = err
+	cbs := r.onDone
+	r.onDone = nil
 	if r.ch != nil {
 		close(r.ch)
 	}
@@ -103,6 +119,37 @@ func (r *Request) finish(at vtime.Time, val []byte, err error) {
 			lh.byKind(r.latKind).Observe(int64(at - r.issuedAt))
 		}
 	}
+	for _, cb := range cbs {
+		cb(err)
+	}
+	if q := r.e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvRequestDone, At: at, Rank: r.target, Req: r, Err: err})
+	}
+}
+
+// OnDone registers a completion callback: fn runs exactly once with the
+// request's asynchronous error (nil on success), on the goroutine that
+// completes the request — a delivery goroutine, usually, so fn must be
+// brief and must not block on the request itself. Registration is
+// after-the-fact safe: on an already-completed request fn runs inline
+// before OnDone returns. The error fn receives is the same value Err
+// reports, and it is visible to Err before Done's channel closes.
+// Registering multiple callbacks is permitted (each fires exactly once),
+// but usually indicates confused ownership; rmalint's deprecated analyzer
+// flags double registration on the same request.
+func (r *Request) OnDone(fn func(error)) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.done {
+		err := r.err
+		r.mu.Unlock()
+		fn(err)
+		return
+	}
+	r.onDone = append(r.onDone, fn)
+	r.mu.Unlock()
 }
 
 // Wait blocks until the operation completes, advancing the rank's virtual

@@ -134,10 +134,10 @@ func (e *Engine) onApplyPanic(shard int, recovered any) {
 	e.failEngine(fmt.Errorf("core: %w: shard %d worker: %v", ErrApplyFault, shard, recovered))
 }
 
-// failEngine records an engine-fatal error: every outstanding request and
-// pending batch fails with it, and completion waiters are woken so
-// Complete/Order/fence observe it instead of hanging on counters that
-// will never advance.
+// failEngine records an engine-fatal error: every outstanding request,
+// pending batch, and Select waiter fails with it, and completion waiters
+// are woken so Complete/Order/fence observe it instead of hanging on
+// counters that will never advance.
 func (e *Engine) failEngine(err error) {
 	at := e.proc.Now()
 	e.cmplMu.Lock()
@@ -151,8 +151,10 @@ func (e *Engine) failEngine(err error) {
 		delete(e.pendingBatches, id)
 		victims = append(victims, pb.reqs...)
 	}
+	failedConfirm := serviceWaiters(&e.confirmWaiters, -1, 0, at, err)
 	e.cmplCond.Broadcast()
 	e.cmplMu.Unlock()
+	closeWaiters(failedConfirm)
 
 	e.mu.Lock()
 	for _, r := range e.reqs {
@@ -163,6 +165,11 @@ func (e *Engine) failEngine(err error) {
 		r.completeErr(at, err)
 	}
 	e.tgtMu.Lock()
+	failedApply := serviceWaiters(&e.applyWaiters, -1, 0, at, err)
 	e.tgtCond.Broadcast()
 	e.tgtMu.Unlock()
+	closeWaiters(failedApply)
+	if q := e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvFault, At: at, Rank: AllRanks, Err: err})
+	}
 }

@@ -129,6 +129,12 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) *telemetry.Registry {
 	reg.Register("net.faults_injected.delayed", &net.FaultsDelayed)
 	reg.Register("net.faults_injected.corrupted", &net.FaultsCorrupted)
 
+	if q := e.evq.Load(); q != nil {
+		// Events enabled before telemetry: register the queue's cells now
+		// (the reverse order registers from EnableEvents).
+		registerEventMetrics(reg, q)
+	}
+
 	e.lat.Store(&latencyHists{
 		put:      reg.Histogram("latency.put"),
 		get:      reg.Histogram("latency.get"),

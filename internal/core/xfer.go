@@ -199,6 +199,7 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 		wire := make([]byte, datatype.PackedSize(ocount, odt))
 		src := e.proc.Mem().Snapshot(origin.Offset, datatype.ExtentOf(ocount, odt))
 		if err := datatype.PackInto(wire, src, ocount, odt, e.proc.ByteOrder()); err != nil {
+			req.completeErr(e.proc.Now(), err)
 			return nil, err
 		}
 		m = newMsg(target, kPut)
@@ -236,12 +237,18 @@ func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Regio
 	// process-level lock across the whole atomic operation.
 	if attrs&AttrAtomic != 0 && e.targetUsesCoarseLock() {
 		if err := e.acquireLock(target); err != nil {
+			req.completeErr(e.proc.Now(), err)
 			return nil, err
 		}
 		m.Flags |= flagUnlockAfter
 	}
 
 	if _, err := e.proc.NIC().Send(e.proc.Now(), m); err != nil {
+		// The request was already visible in the engine table; completing
+		// it with the error (instead of abandoning it there) keeps every
+		// observation surface — Done, Err, OnDone, Select, the event
+		// queue — in agreement with the returned error.
+		req.completeErr(e.proc.Now(), err)
 		return nil, err
 	}
 	e.proc.NIC().CPU().AdvanceTo(m.SentAt)

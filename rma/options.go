@@ -16,16 +16,18 @@ import (
 type Option func(*config)
 
 type config struct {
-	attrs    core.Attr
-	opts     core.Options
-	tcount   int
-	tdt      Type
-	metrics  bool
-	tracing  bool
-	traceCap int
-	checker  bool
-	faults   *simnet.FaultPlan
-	retry    *portals.RetryPolicy
+	attrs     core.Attr
+	opts      core.Options
+	tcount    int
+	tdt       Type
+	metrics   bool
+	tracing   bool
+	traceCap  int
+	checker   bool
+	events    bool
+	eventsCap int
+	faults    *simnet.FaultPlan
+	retry     *portals.RetryPolicy
 }
 
 func buildConfig(opts []Option) config {
@@ -165,6 +167,17 @@ func WithMetrics() Option {
 // an already-installed tracer is kept.
 func WithTracing(capacity int) Option {
 	return func(c *config) { c.tracing, c.traceCap = true, capacity }
+}
+
+// WithEvents installs the completion-event queue at Open with the given
+// capacity (0 or negative = core.DefaultEventQueueCap), so early events
+// are not missed and the capacity can be sized to the workload's
+// in-flight window. Like WithMetrics it is honoured by any Open of the
+// rank, but the first installed queue (including one Session.Events
+// created implicitly) keeps its capacity. Without it, Session.Events
+// installs a default-capacity queue on first use.
+func WithEvents(capacity int) Option {
+	return func(c *config) { c.events, c.eventsCap = true, capacity }
 }
 
 // WithFaults installs a deterministic fault-injection plan on the world's

@@ -156,6 +156,9 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 	if cfg.metrics {
 		s.eng.EnableTelemetry(nil)
 	}
+	if cfg.events {
+		s.eng.EnableEvents(cfg.eventsCap)
+	}
 	if cfg.tracing && s.eng.Tracer() == nil {
 		s.eng.SetTracer(trace.New(cfg.traceCap))
 	}
@@ -344,3 +347,63 @@ func (s *Session) Order(targets ...int) error {
 //
 // Deprecated: call Order with no arguments instead.
 func (s *Session) OrderAll() error { return s.Order() }
+
+// Event-driven completion (the push side of the completion surface; see
+// DESIGN.md §11). An Event is one completion transition — a request
+// finishing, an operation applying locally, a target confirming delivery
+// or going quiescent, a link or apply fault — stamped with its
+// deterministic virtual time. A CompletionQueue delivers them in
+// publication order; SelectCase arms a Session.Select call.
+type (
+	Event           = core.Event
+	EventKind       = core.EventKind
+	CompletionQueue = core.CompletionQueue
+	SelectCase      = core.SelectCase
+)
+
+// Event kinds (see the core.EventKind constants for full semantics).
+const (
+	EvRequestDone = core.EvRequestDone
+	EvDelivery    = core.EvDelivery
+	EvConfirm     = core.EvConfirm
+	EvQuiescent   = core.EvQuiescent
+	EvFault       = core.EvFault
+)
+
+// Select-case constructors: OnRequest fires when a request completes;
+// OnApplied when this rank has applied at least count operations from an
+// origin rank (the target-side arm a consumer of notified puts waits
+// on); OnConfirmed when a target has confirmed at least count of this
+// rank's operations; OnQuiescent when a target has confirmed everything
+// issued to it so far (the moment Complete(target) would return without
+// waiting).
+var (
+	OnRequest   = core.OnRequest
+	OnApplied   = core.OnApplied
+	OnConfirmed = core.OnConfirmed
+	OnQuiescent = core.OnQuiescent
+)
+
+// Events returns the session's completion queue, installing one with the
+// default capacity on first use (like Metrics; pass WithEvents to Open to
+// size it). Every completion transition of this rank is published to the
+// queue: drain with Poll (non-blocking) or Wait (blocking). The queue is
+// bounded and never blocks the engine — when the consumer falls behind,
+// new events are dropped and counted in the events.dropped counter
+// (Dropped on the queue); the underlying counters remain exact, so a
+// dropped event means a lost wakeup hint, never lost completion state.
+func (s *Session) Events() *CompletionQueue {
+	return s.eng.EnableEvents(0)
+}
+
+// Select blocks until any of the cases fires, returning the index of the
+// winning case and its event — the any-of multiplexer of the event-driven
+// surface, variadic like Complete and Order. The rank's virtual clock
+// advances to the winning event's time (Wait semantics). Validation
+// failures (no cases, a nil request, a rank out of range) return an error
+// wrapping ErrBadHandle; asynchronous failures arrive as events instead:
+// EvRequestDone with Err set, or EvFault when a link dies or the apply
+// pipeline faults while a counter case is armed.
+func (s *Session) Select(cases ...SelectCase) (int, Event, error) {
+	return s.eng.Select(s.comm, cases...)
+}

@@ -86,10 +86,6 @@ func TestFacadeSharding(t *testing.T) {
 		if err := s.Order(); err != nil {
 			t.Errorf("Order(): %v", err)
 		}
-		// The deprecated spellings remain and agree.
-		if err := s.CompleteAll(); err != nil {
-			t.Errorf("CompleteAll: %v", err)
-		}
 		p.Barrier()
 	})
 	if err != nil {
