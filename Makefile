@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff
+.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff profile-smoke
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
 # proving batching still pays, an E14 smoke bench proving the sharded
 # apply engine still scales, a telemetry smoke run proving the JSON
-# exporters parse, and the seeded chaos fault matrix under the race
-# detector.
-check: lint build test race smoke smoke-metrics bench-smoke chaos
+# exporters parse, a profiling smoke run proving the critical-path and
+# pprof sidecars come out attributable, and the seeded chaos fault
+# matrix under the race detector.
+check: lint build test race smoke smoke-metrics bench-smoke profile-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,15 @@ bench-smoke:
 # rmabench validates the metrics and trace JSON re-parse before exiting 0.
 smoke-metrics:
 	$(GO) run ./cmd/rmabench -exp fig2 -metrics -trace /tmp/rmabench-fig2-trace.json > /dev/null
+
+# profile-smoke exercises the diagnosis toolchain end to end: one
+# experiment with every pprof sidecar plus the critical-path sidecar
+# (rmabench validates the JSON and fails on any unreconciled span count
+# mismatch at analysis level), and a short fault-injected rmatop run so
+# the console's render path stays green.
+profile-smoke:
+	$(GO) run ./cmd/rmabench -exp fig2 -critpath /tmp/rmabench-fig2-critpath.json -profile cpu,heap,mutex,block -profiledir /tmp > /dev/null
+	$(GO) run ./cmd/rmatop -frames 2 -plain -interval 100ms -faults > /dev/null
 
 # chaos runs the seeded fault-matrix harness under the race detector:
 # reliable delivery must converge byte-exactly with the fault-free run,

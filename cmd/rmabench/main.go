@@ -8,6 +8,11 @@
 //	rmabench -exp e13 -metrics -trace e13-trace.json
 //	                         # telemetry sidecars: metrics JSON on stdout,
 //	                         # merged protocol timeline + spans to a file
+//	rmabench -exp e13 -critpath e13-critpath.json
+//	                         # critical-path sidecar: per-stage latency
+//	                         # decomposition of the recorded timeline
+//	rmabench -exp e13 -profile cpu,heap,mutex,block -profiledir /tmp
+//	                         # labeled pprof sidecars alongside the run
 //	rmabench -exp e14        # sharded target apply scaling (workers x
 //	                         # payload on the Fig. 2 7-writer workload)
 //	rmabench -chaos          # seeded fault-matrix chaos run (same as
@@ -25,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	gort "runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mpi3rma/internal/bench"
@@ -36,7 +44,10 @@ func main() {
 	plot := flag.Bool("plot", false, "append an ASCII summary plot per experiment")
 	metrics := flag.Bool("metrics", false, "collect telemetry and print each experiment's metrics snapshot as JSON")
 	traceOut := flag.String("trace", "", "collect telemetry and write the merged trace timeline + spans JSON to this file")
+	critOut := flag.String("critpath", "", "collect telemetry and write the critical-path stage breakdown JSON to this file")
 	jsonOut := flag.String("json", "", "write the benchmark artifact (model+wall time, allocs) for a single -exp to this file (see cmd/benchdiff)")
+	profile := flag.String("profile", "", "comma list of pprof profiles to capture across the run: cpu,heap,mutex,block (sidecar files, see -profiledir)")
+	profileDir := flag.String("profiledir", ".", "directory receiving the pprof sidecar files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	chaos := flag.Bool("chaos", false, "run the seeded chaos fault matrix (shorthand for -exp chaos)")
 	flag.Parse()
@@ -48,8 +59,12 @@ func main() {
 	if *chaos {
 		*exp = "chaos"
 	}
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *critOut != "" {
 		bench.SetTelemetry(true)
+	}
+	if *profile != "" {
+		stop := startProfiles(*profile, *profileDir)
+		defer stop()
 	}
 
 	if *jsonOut != "" {
@@ -84,6 +99,118 @@ func main() {
 		}
 		if *traceOut != "" {
 			writeTrace(res, *traceOut, len(results) > 1)
+		}
+		if *critOut != "" {
+			writeCritPath(res, *critOut, len(results) > 1)
+		}
+	}
+}
+
+// writeCritPath writes one experiment's critical-path sidecar: the
+// per-stage latency decomposition of the recorded cross-rank timeline.
+// Like the trace sidecar it is validated by re-parsing before it lands
+// on disk, and with several experiments in one invocation the experiment
+// id is inserted before the file extension.
+func writeCritPath(res bench.Result, path string, multi bool) {
+	if multi {
+		if i := strings.LastIndex(path, "."); i > 0 {
+			path = path[:i] + "-" + res.Name + path[i:]
+		} else {
+			path = path + "-" + res.Name
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCritPathJSON(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: critical-path export for %s: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	var check map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &check); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: critical-path JSON for %s does not parse: %v\n", res.Name, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rmabench: %v\n", err)
+		os.Exit(1)
+	}
+	rep := res.CriticalPath()
+	fmt.Printf("critical-path sidecar written to %s (%d spans, %d reconciled, %d mismatched)\n",
+		path, rep.Spans, rep.Reconciled, rep.Mismatched)
+}
+
+// startProfiles begins the requested pprof captures and returns the stop
+// function that writes the sidecar files. CPU samples stream for the
+// whole run; heap/mutex/block are written at stop. The goroutine labels
+// the runtime layers install (rank=N, role=nic-agent/shard-worker) make
+// the captures attributable: go tool pprof -tagfocus rank=0 <file>.
+func startProfiles(kinds, dir string) func() {
+	var stops []func()
+	create := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmabench: %v\n", err)
+			os.Exit(1)
+		}
+		return f
+	}
+	note := func(f *os.File) {
+		fmt.Fprintf(os.Stderr, "pprof sidecar written to %s\n", f.Name())
+	}
+	for _, kind := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			f := create("rmabench-cpu.pprof")
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rmabench: cpu profile: %v\n", err)
+				os.Exit(1)
+			}
+			stops = append(stops, func() {
+				pprof.StopCPUProfile()
+				f.Close()
+				note(f)
+			})
+		case "heap":
+			stops = append(stops, func() {
+				f := create("rmabench-heap.pprof")
+				gort.GC() // settle the heap so the profile reflects live data
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rmabench: heap profile: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				note(f)
+			})
+		case "mutex":
+			gort.SetMutexProfileFraction(5)
+			stops = append(stops, func() {
+				f := create("rmabench-mutex.pprof")
+				if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "rmabench: mutex profile: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				note(f)
+			})
+		case "block":
+			gort.SetBlockProfileRate(1000)
+			stops = append(stops, func() {
+				f := create("rmabench-block.pprof")
+				if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "rmabench: block profile: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				note(f)
+			})
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "rmabench: unknown -profile kind %q (want cpu,heap,mutex,block)\n", kind)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
 		}
 	}
 }

@@ -1,0 +1,224 @@
+// Command rmatop is the live per-rank ops console: it drives a small
+// simulated RMA world (a ring of ranks streaming puts at each other,
+// optionally under injected faults) and renders each rank's health on a
+// refresh loop — link state from the reliable-delivery relay, retry
+// budget remaining, shard queue depths and steals, completion-queue
+// occupancy and drops, and the top critical-path stages of the recorded
+// timeline.
+//
+// Usage:
+//
+//	rmatop                      # 4 ranks, redraw twice a second, Ctrl-C to quit
+//	rmatop -ranks 8 -shards 4   # sharded apply engine, more ranks
+//	rmatop -faults              # inject the chaos drop burst: watch
+//	                            # retransmissions eat the retry budget
+//	rmatop -frames 3 -plain     # finite, scroll-friendly run (CI smoke)
+//
+// The world is the same stack the benchmarks run — rmatop is a viewer,
+// not a simulator of its own.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mpi3rma/internal/core"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/telemetry"
+	"mpi3rma/internal/trace"
+	"mpi3rma/internal/vtime"
+	"mpi3rma/rma"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "world size")
+	shards := flag.Int("shards", 0, "apply shards per target (0 = serial apply engine)")
+	interval := flag.Duration("interval", 500*time.Millisecond, "refresh period")
+	frames := flag.Int("frames", 0, "stop after this many frames (0 = run until interrupted)")
+	faults := flag.Bool("faults", false, "inject a seeded drop burst on link 1->0 plus background drops, with reliable delivery on")
+	plain := flag.Bool("plain", false, "do not clear the screen between frames (scrollback-friendly)")
+	diagDir := flag.String("diagdir", "", "flight-recorder postmortem directory (default: system temp dir)")
+	flag.Parse()
+	if *ranks < 2 {
+		fmt.Fprintln(os.Stderr, "rmatop: need at least 2 ranks")
+		os.Exit(2)
+	}
+
+	cfg := runtime.Config{Ranks: *ranks, Seed: 42}
+	if *faults {
+		cfg.Faults = &simnet.FaultPlan{
+			Seed:    4242,
+			Default: simnet.LinkFaults{Drop: 0.05},
+			Bursts: []simnet.Burst{{
+				Link:   simnet.LinkKey{Src: 1, Dst: 0},
+				Until:  vtime.Time(20 * time.Microsecond),
+				Faults: simnet.LinkFaults{Drop: 1},
+			}},
+		}
+	}
+	w := runtime.NewWorld(cfg)
+
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *runtime.Proc) { workload(p, *shards, *diagDir, &stop) })
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	frame := 0
+	for running := true; running; {
+		select {
+		case <-sig:
+			running = false
+		case <-ticker.C:
+			frame++
+			render(w, frame, *plain)
+			if *frames > 0 && frame >= *frames {
+				running = false
+			}
+		}
+	}
+	stop.Store(true)
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "rmatop: %v\n", err)
+	}
+	w.Close()
+}
+
+// workload is one rank's traffic generator: stream small puts around the
+// ring (rank -> rank+1) with periodic Complete calls, so every subsystem
+// rmatop renders — relay, shards, completion queue, critical path — has
+// live traffic. The real-time sleep paces the loop so the console stays
+// responsive and the simulation does not spin a core per rank.
+func workload(p *runtime.Proc, shards int, diagDir string, stop *atomic.Bool) {
+	opts := []rma.Option{
+		rma.WithMetrics(),
+		rma.WithTracing(4096),
+		rma.WithEvents(256),
+		rma.WithFlightRecorder(diagDir),
+	}
+	if shards > 1 {
+		opts = append(opts, rma.WithApplyShards(shards))
+	}
+	s := rma.Open(p, opts...)
+	const slot = 64
+	tms, local, err := s.ExposeCollective(slot * p.Comm().Size())
+	if err != nil {
+		return
+	}
+	next := (p.Rank() + 1) % p.Comm().Size()
+	src := rma.Region{Offset: local.Offset + p.Rank()*slot, Size: slot}
+	for i := 0; !stop.Load(); i++ {
+		for j := 0; j < 8; j++ {
+			if _, err := s.Put(src, slot, rma.Byte, tms[next], p.Rank()*slot); err != nil {
+				return
+			}
+		}
+		if err := s.Complete(next); err != nil && s.Err() != nil {
+			// The link failed sticky (fault runs): keep the rank alive so
+			// its health stays observable, but stop issuing to it.
+			for !stop.Load() {
+				time.Sleep(10 * time.Millisecond)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// render draws one frame: a per-rank health table plus the current top
+// critical-path stages of the merged timeline.
+func render(w *runtime.World, frame int, plain bool) {
+	var b strings.Builder
+	if !plain {
+		b.WriteString("\033[H\033[2J")
+	}
+	fmt.Fprintf(&b, "rmatop — frame %d — %d ranks\n\n", frame, w.Size())
+	fmt.Fprintf(&b, "%-5s %-12s %-22s %-8s %-16s %-14s %s\n",
+		"rank", "vtime", "links(peer:state)", "budget", "shards(d/s/o)", "evq(d/c/drop)", "sticky")
+
+	perRank := make(map[int][]trace.Event)
+	for r := 0; r < w.Size(); r++ {
+		eng := core.Attached(w.Proc(r))
+		if eng == nil {
+			fmt.Fprintf(&b, "%-5d %s\n", r, "(attaching)")
+			continue
+		}
+		h := eng.Health()
+		links := "-"
+		if len(h.Links) > 0 {
+			parts := make([]string, 0, len(h.Links))
+			for _, l := range h.Links {
+				state := "up"
+				if l.Down {
+					state = "DOWN"
+				} else if l.Attempts > 0 {
+					state = fmt.Sprintf("retry%d", l.Attempts)
+				}
+				parts = append(parts, fmt.Sprintf("%d:%s", l.Peer, state))
+			}
+			links = strings.Join(parts, " ")
+		}
+		budget := "-"
+		if h.RetryBudget > 0 {
+			worst := 0
+			for _, l := range h.Links {
+				if l.Attempts > worst {
+					worst = l.Attempts
+				}
+			}
+			budget = fmt.Sprintf("%d/%d", h.RetryBudget-worst, h.RetryBudget)
+		}
+		shards := "-"
+		if len(h.Shards) > 0 {
+			var d, st, o int64
+			for _, sh := range h.Shards {
+				d += sh.Depth
+				st += sh.Steals
+				o += sh.Overflow
+			}
+			shards = fmt.Sprintf("%d/%d/%d", d, st, o)
+		}
+		evq := "-"
+		if h.Queue != nil {
+			evq = fmt.Sprintf("%d/%d/%d", h.Queue.Depth, h.Queue.Cap, h.Queue.Dropped)
+		}
+		sticky := ""
+		if len(h.Sticky) > 0 {
+			sticky = h.Sticky[0]
+			if len(sticky) > 48 {
+				sticky = sticky[:48] + "…"
+			}
+		}
+		fmt.Fprintf(&b, "%-5d %-12d %-22s %-8s %-16s %-14s %s\n",
+			r, h.VTime, links, budget, shards, evq, sticky)
+		if ring := eng.Tracer(); ring != nil {
+			perRank[r] = ring.Snapshot()
+		}
+	}
+
+	rep := telemetry.AnalyzeCriticalPath(telemetry.Timeline(perRank))
+	fmt.Fprintf(&b, "\ncritical path (%d spans, %d reconciled):", rep.Spans, rep.Reconciled)
+	top := rep.TopStages(4)
+	sort.SliceStable(top, func(i, j int) bool { return top[i].Total > top[j].Total })
+	for _, s := range top {
+		share := 0.0
+		if rep.TotalVTime > 0 {
+			share = 100 * float64(s.Total) / float64(rep.TotalVTime)
+		}
+		fmt.Fprintf(&b, " %s %.0f%%", s.Stage, share)
+	}
+	b.WriteString("\n")
+	os.Stdout.WriteString(b.String())
+}

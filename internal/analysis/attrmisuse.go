@@ -34,6 +34,7 @@ var sessionOnly = map[string]string{
 	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",
 	"WithApplyShards":     "the sharded apply engine is configured at Open",
 	"WithApplyWorkers":    "the apply worker pool is sized at Open",
+	"WithFlightRecorder":  "the flight recorder is installed at Open",
 }
 
 // optionTakers maps facade calls that accept options to their kind.

@@ -13,13 +13,14 @@ func sessionOnlyOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(8), rma.WithBlocking())                                         // want "WithBatch is ignored on Put"
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithMetrics(), rma.WithBlocking())                                        // want "WithMetrics is ignored on Put"
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithEvents(16), rma.WithBlocking())                                       // want "WithEvents is ignored on Put"
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithFlightRecorder(""), rma.WithBlocking())                               // want "WithFlightRecorder is ignored on Put"
 	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomicity(serializer.MechThread), rma.WithBlocking()) // want "WithAtomicity is ignored on Accumulate"
 	_ = s.CompleteAll()
 }
 
 func sessionOptionsAtOpenAreFine(p *runtime.Proc) {
 	_ = rma.Open(p, rma.WithBatch(8), rma.WithBatchBytes(1024), rma.WithMetrics(), rma.WithTracing(0), rma.WithChecker())
-	_ = rma.Open(p, rma.WithApplyShards(8), rma.WithApplyWorkers(4))
+	_ = rma.Open(p, rma.WithApplyShards(8), rma.WithApplyWorkers(4), rma.WithFlightRecorder(""))
 }
 
 func shardingOnTransfer(p *runtime.Proc, tm rma.TargetMem) {

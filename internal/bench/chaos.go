@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"os"
 	"time"
 
 	"mpi3rma/internal/core"
 	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/runtime"
 	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/telemetry"
 	"mpi3rma/internal/vtime"
 )
 
@@ -88,6 +90,12 @@ func runChaosCell(plan *simnet.FaultPlan) chaosOutcome {
 	var meas measure
 	err := w.Run(func(p *runtime.Proc) {
 		e := core.Attach(p, core.Options{})
+		// Every chaos rank flies with the recorder armed: if an injected
+		// fault ever escalates to a sticky failure, the postmortem (ring
+		// of recent relay/apply events plus per-rank health) lands in
+		// RMA_DIAG_DIR — the directory CI uploads when `make chaos`
+		// fails — or the system temp dir.
+		e.EnableFlightRecorder(telemetry.FlightConfig{Dir: os.Getenv("RMA_DIAG_DIR")})
 		comm := p.Comm()
 		if p.Rank() == 0 {
 			tm, region := e.ExposeNew(size)

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/serializer"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/telemetry"
+	"mpi3rma/internal/vtime"
+)
+
+// checkReconciles asserts the analyzer's self-validation invariant on a
+// cell's recorded timeline: every span's stage sum equals its end-to-end
+// elapsed virtual time exactly (the attribution walk assigns every gap
+// to exactly one stage, so this holds by construction — a mismatch means
+// the walk lost or double-counted time).
+func checkReconciles(t *testing.T, out PutsCompleteOutcome) *telemetry.CriticalPathReport {
+	t.Helper()
+	if out.Telemetry == nil || len(out.Telemetry.Events) == 0 {
+		t.Fatal("cell recorded no timeline (telemetry off?)")
+	}
+	rep := telemetry.AnalyzeCriticalPath(out.Telemetry.Events)
+	if rep.Spans == 0 {
+		t.Fatal("analyzer found no spans in a recorded timeline")
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("%d of %d spans did not reconcile", rep.Mismatched, rep.Spans)
+	}
+	if rep.StageTotal() != rep.TotalVTime {
+		t.Fatalf("stage sum %d != end-to-end vtime %d", rep.StageTotal(), rep.TotalVTime)
+	}
+	return rep
+}
+
+// TestCritPathReconcilesE13 runs a batched E13 cell (the heaviest
+// protocol path: issue queue, pack, batch envelope, sharded apply,
+// notify) with telemetry on and checks exact vtime reconciliation. On a
+// lossless wire no retransmit-stall may appear.
+func TestCritPathReconcilesE13(t *testing.T) {
+	SetTelemetry(true)
+	defer SetTelemetry(false)
+	out := RunPutsComplete(PutsCompleteConfig{
+		Origins:     7,
+		Puts:        20,
+		Size:        64,
+		Mech:        serializer.MechThread,
+		NonBlocking: true,
+		BatchOps:    E13Batch,
+	})
+	rep := checkReconciles(t, out)
+	if s := rep.Stage(telemetry.StageRetransmitStall); s != nil && s.Total != 0 {
+		t.Fatalf("lossless run attributed %dns to retransmit-stall, want 0", s.Total)
+	}
+	for _, stage := range []string{telemetry.StageWire, telemetry.StageApply} {
+		if s := rep.Stage(stage); s == nil || s.Total == 0 {
+			t.Errorf("stage %s absent from an E13 run", stage)
+		}
+	}
+}
+
+// TestCritPathRetransmitStallOnlyUnderFaults runs the same cell twice —
+// once lossless, once under the guaranteed drop burst that forces the
+// relay to retransmit — and checks the retransmit-stall stage appears
+// exactly when net.retries > 0, while both timelines still reconcile
+// exactly.
+func TestCritPathRetransmitStallOnlyUnderFaults(t *testing.T) {
+	SetTelemetry(true)
+	defer SetTelemetry(false)
+	cell := func(plan *simnet.FaultPlan) PutsCompleteOutcome {
+		return RunPutsComplete(PutsCompleteConfig{
+			Origins: 3,
+			Puts:    20,
+			Size:    64,
+			Mech:    serializer.MechThread,
+			WorldConfig: func(cfg *runtime.Config) {
+				cfg.Faults = plan
+			},
+		})
+	}
+	clean := cell(nil)
+	if clean.Retries != 0 {
+		t.Fatalf("lossless cell reported %d retries", clean.Retries)
+	}
+	if s := checkReconciles(t, clean).Stage(telemetry.StageRetransmitStall); s != nil && s.Total != 0 {
+		t.Fatalf("lossless cell attributed %dns to retransmit-stall, want 0", s.Total)
+	}
+
+	faulted := cell(&simnet.FaultPlan{
+		Seed: 1001,
+		Bursts: []simnet.Burst{{
+			Link:   simnet.LinkKey{Src: 1, Dst: 0},
+			Until:  vtime.Time(20 * time.Microsecond),
+			Faults: simnet.LinkFaults{Drop: 1},
+		}},
+	})
+	if faulted.Retries == 0 {
+		t.Fatal("guaranteed drop burst produced no retransmissions")
+	}
+	rep := checkReconciles(t, faulted)
+	if s := rep.Stage(telemetry.StageRetransmitStall); s == nil || s.Total == 0 {
+		t.Fatal("retried run shows no retransmit-stall stage")
+	}
+}

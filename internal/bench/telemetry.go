@@ -160,3 +160,19 @@ func (r *Result) WriteTraceJSON(w io.Writer) error {
 	}
 	return telemetry.WriteTraceJSON(w, r.Telemetry.Events)
 }
+
+// CriticalPath decomposes the experiment's recorded timeline into the
+// per-stage critical-path report (see telemetry.AnalyzeCriticalPath).
+// An experiment run without telemetry yields an empty report.
+func (r *Result) CriticalPath() *telemetry.CriticalPathReport {
+	if r.Telemetry == nil {
+		return telemetry.AnalyzeCriticalPath(nil)
+	}
+	return telemetry.AnalyzeCriticalPath(r.Telemetry.Events)
+}
+
+// WriteCritPathJSON emits the experiment's critical-path stage breakdown
+// as indented JSON (the rmabench -critpath sidecar).
+func (r *Result) WriteCritPathJSON(w io.Writer) error {
+	return r.CriticalPath().WriteJSON(w)
+}

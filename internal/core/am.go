@@ -107,7 +107,7 @@ func (e *Engine) handleAM(m *simnet.Message, at vtime.Time) {
 			} else {
 				handler(m.Src, m.Payload, end)
 			}
-			e.finishApply(m, attrs, true, end)
+			e.finishApply(m, attrs, true, end, e.applyCost(len(m.Payload)))
 		})
 	})
 }

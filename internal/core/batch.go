@@ -548,7 +548,7 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 					})
 				}
 				if t := e.tr(); t != nil {
-					t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "batched member=%d bytes=%d", i, len(op.wire))
+					t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "batched member=%d bytes=%d cost=%d", i, len(op.wire), int64(e.applyCost(len(op.wire))))
 				}
 				track.opDone(e.noteApplied(m.Src, end), end)
 			})
@@ -601,6 +601,9 @@ func (e *Engine) noteConfirmed(target int, count int64, at vtime.Time) {
 	closeWaiters(fired)
 	if !raised {
 		return
+	}
+	if f := e.flight.Load(); f != nil {
+		f.Note(int64(at), "confirm", target, 0, count, nil)
 	}
 	if q := e.evq.Load(); q != nil {
 		q.push(Event{Kind: EvConfirm, At: at, Rank: target, Count: count})

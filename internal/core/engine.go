@@ -265,6 +265,11 @@ type Engine struct {
 	// atomic load and construct nothing.
 	evq atomic.Pointer[CompletionQueue]
 
+	// flight is the postmortem flight recorder installed by
+	// EnableFlightRecorder (nil until then). Feed sites load it once;
+	// the disabled path is one atomic load and records nothing.
+	flight atomic.Pointer[telemetry.FlightRecorder]
+
 	// Counters.
 	OpsIssued       stats.Counter
 	OpsApplied      stats.Counter
@@ -346,9 +351,23 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 			if t := e.tr(); t != nil {
 				t.RecordOpf(at, "retransmit", dst, rseq, "attempt=%d", attempt)
 			}
+			if f := e.flight.Load(); f != nil {
+				f.Note(int64(at), "retransmit", dst, rseq, int64(attempt), nil)
+			}
 		})
 		return e
 	}).(*Engine)
+}
+
+// Attached returns the rank's RMA engine if one was created by Attach,
+// without creating one. Cross-rank observers (timeline merges, the
+// critical-path analyzer, rmatop) use it to inspect peers' tracers and
+// health without attaching engines as a side effect.
+func Attached(p *runtime.Proc) *Engine {
+	if v, ok := p.ExtPeek(extKey); ok {
+		return v.(*Engine)
+	}
+	return nil
 }
 
 // Proc returns the owning process.
@@ -460,6 +479,9 @@ func (e *Engine) noteApplied(src int, at vtime.Time) int64 {
 	closeWaiters(fired)
 	if q := e.evq.Load(); q != nil {
 		q.push(Event{Kind: EvDelivery, At: at, Rank: src, Count: count})
+	}
+	if f := e.flight.Load(); f != nil {
+		f.Note(int64(at), "delivery", src, 0, count, nil)
 	}
 	for _, w := range ready {
 		e.sendProbeAck(w, count, at)
@@ -625,6 +647,10 @@ func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
 	e.tgtMu.Unlock()
 	if q := e.evq.Load(); q != nil {
 		q.push(Event{Kind: EvFault, At: at, Rank: dst, Err: err})
+	}
+	if f := e.flight.Load(); f != nil {
+		f.Note(int64(at), "link-failed", dst, 0, 0, err)
+		f.AutoDump("link-failed", int64(at))
 	}
 }
 

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/telemetry"
+)
+
+// TestLinkFailurePostmortem pins the acceptance criterion end to end: a
+// chaos-injected permanent link failure (drop-everything on 0→1, retry
+// budget exhausted) auto-dumps a postmortem whose event ring names the
+// failed link and its retry history, and whose health snapshot carries
+// the sticky error.
+func TestLinkFailurePostmortem(t *testing.T) {
+	dir := t.TempDir()
+	w := newWorld(t, runtime.Config{
+		Ranks: 2,
+		Faults: &simnet.FaultPlan{
+			Seed:  31,
+			Links: map[simnet.LinkKey]simnet.LinkFaults{{Src: 0, Dst: 1}: {Drop: 1}},
+		},
+	})
+	dumps := make(chan []string, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := w.Run(func(p *runtime.Proc) {
+			e := Attach(p, Options{})
+			e.EnableFlightRecorder(telemetry.FlightConfig{Dir: dir, Cap: 64})
+			comm := p.Comm()
+			if p.Rank() == 1 {
+				tm, _ := e.ExposeNew(64)
+				p.Send(0, 9999, tm.Encode())
+				return
+			}
+			enc, _ := p.Recv(1, 9999)
+			tm, err := DecodeTargetMem(enc)
+			if err != nil {
+				t.Errorf("decode: %v", err)
+				return
+			}
+			scratch := p.Alloc(8)
+			if _, err := e.Put(scratch, 8, datatype.Byte, tm, 0, 8, datatype.Byte, 1, comm, AttrNone); err != nil && !errors.Is(err, ErrLinkFailed) {
+				t.Errorf("put: %v", err)
+				return
+			}
+			if err := e.Complete(comm, 1); !errors.Is(err, ErrLinkFailed) {
+				t.Errorf("Complete returned %v, want wrapped ErrLinkFailed", err)
+			}
+			// The auto-dump fires on the same path that raised the sticky
+			// error, so by the time Complete has surfaced it the file list
+			// is stable.
+			dumps <- e.FlightRecorder().Dumps()
+		})
+		if err != nil {
+			t.Errorf("world: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run hung after retry budget exhaustion")
+	}
+	files := <-dumps
+	if len(files) != 1 {
+		t.Fatalf("link failure produced %d postmortems, want 1", len(files))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("reading postmortem: %v", err)
+	}
+	var pm telemetry.Postmortem
+	if err := json.Unmarshal(raw, &pm); err != nil {
+		t.Fatalf("postmortem does not parse: %v", err)
+	}
+	if pm.Reason != "link-failed" || pm.Rank != 0 {
+		t.Fatalf("postmortem reason=%q rank=%d, want link-failed on rank 0", pm.Reason, pm.Rank)
+	}
+	var failed, retries int
+	for _, ev := range pm.Events {
+		switch ev.Cat {
+		case "link-failed":
+			if ev.Peer != 1 {
+				t.Errorf("link-failed event names peer %d, want 1", ev.Peer)
+			}
+			if ev.Err == "" {
+				t.Error("link-failed event carries no error text")
+			}
+			failed++
+		case "retransmit":
+			if ev.Peer == 1 {
+				retries++
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("postmortem ring has no link-failed event")
+	}
+	if retries == 0 {
+		t.Fatal("postmortem ring has no retry history for the failed link")
+	}
+	if pm.Health == nil || len(pm.Health.Sticky) == 0 {
+		t.Fatalf("postmortem health misses the sticky error: %+v", pm.Health)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"mpi3rma/internal/datatype"
 	"mpi3rma/internal/serializer"
@@ -108,8 +109,12 @@ func (e *Engine) scheduleApply(src int, at vtime.Time, nbytes int, atomic bool, 
 // finishApply performs the bookkeeping shared by every applied operation:
 // probe accounting, acknowledgement or notification, coarse-lock release.
 // It returns the cumulative applied count so reply-bearing handlers (get,
-// RMW) can piggyback the delivery counter on their replies.
-func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vtime.Time) int64 {
+// RMW) can piggyback the delivery counter on their replies. cost is the
+// modelled apply duration the caller scheduled — embedded in the trace
+// event so the critical-path analyzer can split target-side time into
+// queueing vs applying (error-path callers that never scheduled an apply
+// pass 0).
+func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vtime.Time, cost time.Duration) int64 {
 	count := e.noteApplied(m.Src, end)
 	if attrs&AttrRemoteComplete != 0 {
 		ack := newMsg(m.Src, kAck)
@@ -134,7 +139,7 @@ func (e *Engine) finishApply(m *simnet.Message, attrs Attr, atomic bool, end vti
 		e.releaseLockLocal(m.Src, end)
 	}
 	if t := e.tr(); t != nil {
-		t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "kind=%d bytes=%d", m.Kind, len(m.Payload))
+		t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "kind=%d bytes=%d cost=%d", m.Kind, len(m.Payload), int64(cost))
 	}
 	return count
 }
@@ -151,14 +156,14 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 			// Count the op so completion probes do not deadlock, but the
 			// deposit is lost (access to unexposed memory).
 			e.proc.NIC().BadReq.Inc()
-			e.finishApply(m, attrs, atomic, at)
+			e.finishApply(m, attrs, atomic, at, 0)
 			return
 		}
 		scale := 1.0
 		if accOp == AccAxpy {
 			if len(rest) < 8 {
 				e.proc.NIC().BadReq.Inc()
-				e.finishApply(m, attrs, atomic, at)
+				e.finishApply(m, attrs, atomic, at, 0)
 				return
 			}
 			scale = math.Float64frombits(binary.LittleEndian.Uint64(rest))
@@ -192,7 +197,7 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			e.finishApply(m, attrs, atomic, end)
+			e.finishApply(m, attrs, atomic, end, e.applyCost(len(wire)))
 		})
 	})
 }
@@ -212,7 +217,7 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 			reply := newMsg(m.Src, kGetReply)
 			reply.Hdr[hReq] = m.Hdr[hReq]
 			e.sendReply(at, reply)
-			e.finishApply(m, attrs&^AttrRemoteComplete, atomic, at)
+			e.finishApply(m, attrs&^AttrRemoteComplete, atomic, at, 0)
 			return
 		}
 		tcount := int(m.Hdr[hCount])
@@ -232,7 +237,7 @@ func (e *Engine) handleGet(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), atomic, end)
+			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), atomic, end, e.applyCost(nbytes))
 			reply := newMsg(m.Src, kGetReply)
 			reply.Hdr[hReq] = m.Hdr[hReq]
 			reply.Hdr[hCount] = uint64(count)

@@ -125,6 +125,9 @@ func (r *Request) finish(at vtime.Time, val []byte, err error) {
 	if q := r.e.evq.Load(); q != nil {
 		q.push(Event{Kind: EvRequestDone, At: at, Rank: r.target, Req: r, Err: err})
 	}
+	if f := r.e.flight.Load(); f != nil {
+		f.Note(int64(at), "request-done", r.target, r.id, 0, err)
+	}
 }
 
 // OnDone registers a completion callback: fn runs exactly once with the

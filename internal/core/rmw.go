@@ -150,7 +150,7 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end)
+			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end, e.applyCost(8))
 			reply := newMsg(m.Src, kRMWReply)
 			reply.Hdr[hReq] = m.Hdr[hReq]
 			reply.Hdr[hCount] = uint64(count)

@@ -172,4 +172,8 @@ func (e *Engine) failEngine(err error) {
 	if q := e.evq.Load(); q != nil {
 		q.push(Event{Kind: EvFault, At: at, Rank: AllRanks, Err: err})
 	}
+	if f := e.flight.Load(); f != nil {
+		f.Note(int64(at), "apply-fault", AllRanks, 0, 0, err)
+		f.AutoDump("apply-fault", int64(at))
+	}
 }

@@ -27,7 +27,10 @@
 package portals
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -116,7 +119,13 @@ func NewNIC(ep *simnet.Endpoint, mem *memsim.Memory, cfg Config) *NIC {
 		done:     make(chan struct{}),
 	}
 	n.registerPortalsHandlers()
-	go n.agent()
+	go func() {
+		// Label the delivery agent so profiles separate NIC work from
+		// rank compute (go tool pprof -tagfocus role=nic-agent).
+		pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(ep.ID()), "role", "nic-agent"), func(context.Context) {
+			n.agent()
+		})
+	}()
 	return n
 }
 

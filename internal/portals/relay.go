@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -486,4 +487,53 @@ func (n *NIC) rxWindow() int {
 		return r.pol.Window
 	}
 	return DefaultRetryWindow
+}
+
+// LinkStatus is a point-in-time observation of one transmit link's
+// reliability state, for health views and postmortems.
+type LinkStatus struct {
+	// Peer is the destination rank.
+	Peer int
+	// Down reports an exhausted retry budget (the link was declared
+	// failed and will accept no further sends).
+	Down bool
+	// Inflight counts unacknowledged frames currently tracked.
+	Inflight int
+	// Attempts is the worst per-frame retransmission count in flight —
+	// how close the hottest frame is to the retry budget.
+	Attempts int
+	// NextSeq is the next relay sequence number the link will stamp.
+	NextSeq uint64
+}
+
+// RelayStatus snapshots every transmit link's reliability state, sorted
+// by peer rank. It returns nil when reliable delivery is not enabled.
+func (n *NIC) RelayStatus() []LinkStatus {
+	r := n.relay.Load()
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]LinkStatus, 0, len(r.links))
+	for dst, l := range r.links {
+		st := LinkStatus{Peer: dst, Down: l.down, Inflight: len(l.inflight), NextSeq: l.nextSeq + 1}
+		for _, f := range l.inflight {
+			if f.attempts > st.Attempts {
+				st.Attempts = f.attempts
+			}
+		}
+		out = append(out, st)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// RetryBudget reports the relay's per-frame retransmission budget, or 0
+// when reliable delivery is not enabled.
+func (n *NIC) RetryBudget() int {
+	if r := n.relay.Load(); r != nil {
+		return r.pol.Budget
+	}
+	return 0
 }

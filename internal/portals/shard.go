@@ -1,6 +1,9 @@
 package portals
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -123,7 +126,13 @@ func NewShardPool(shards, workers int) *ShardPool {
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go p.worker(w)
+		go func(w int) {
+			// Label shard workers so profiles attribute apply work to the
+			// pool (go tool pprof -tagfocus role=shard-worker).
+			pprof.Do(context.Background(), pprof.Labels("role", "shard-worker", "worker", strconv.Itoa(w)), func(context.Context) {
+				p.worker(w)
+			})
+		}(w)
 	}
 	return p
 }

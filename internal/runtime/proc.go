@@ -125,6 +125,17 @@ func (p *Proc) Ext(key string, mk func() any) any {
 	return v
 }
 
+// ExtPeek returns the extension stored under key without creating one —
+// the non-allocating counterpart of Ext for cross-rank inspection (a
+// rank's observability layer looking up peers' engines must not attach
+// fresh ones as a side effect).
+func (p *Proc) ExtPeek(key string) (any, bool) {
+	p.extMu.Lock()
+	defer p.extMu.Unlock()
+	v, ok := p.ext[key]
+	return v, ok
+}
+
 // closeExts shuts down attached engines that own background goroutines
 // (anything implementing Close). Called by World.Close.
 func (p *Proc) closeExts() {

@@ -11,7 +11,10 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"mpi3rma/internal/datatype"
@@ -143,7 +146,11 @@ func (w *World) Run(fn func(p *Proc)) error {
 					errCh <- fmt.Errorf("rank %d panicked: %v", p.rank, r)
 				}
 			}()
-			fn(p)
+			// Label the rank goroutine so CPU/heap profiles attribute
+			// samples to ranks (go tool pprof -tagfocus rank=N).
+			pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(p.rank), "role", "rank"), func(context.Context) {
+				fn(p)
+			})
 		}(p)
 	}
 	done := make(chan struct{})

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// syntheticSpan is a hand-built one-put timeline: issue at the origin,
+// apply at the target (with modelled arrival and apply cost in the
+// details), ack back, complete. The numbers are chosen so every stage
+// the attribution walk can produce is distinct and checkable.
+func syntheticSpan() []TraceEvent {
+	return []TraceEvent{
+		{At: 100, Rank: 1, Cat: "issue", Peer: 0, ID: 7, Detail: "kind=1 bytes=64 arrive=300"},
+		{At: 450, Rank: 0, Cat: "apply", Peer: 1, ID: 7, Detail: "kind=1 bytes=64 cost=50"},
+		{At: 520, Rank: 1, Cat: "ack", Peer: 0, ID: 7},
+		{At: 600, Rank: 1, Cat: "complete", Peer: 0, ID: 7},
+	}
+}
+
+// TestCritPathSyntheticAttribution pins the stage decomposition of a
+// hand-built span: wire = arrive-send, apply = cost, shard-queue = the
+// arrival->apply remainder, ack and wakeup from the trailing gaps — and
+// the stage sum reconciles exactly with end-to-end elapsed time.
+func TestCritPathSyntheticAttribution(t *testing.T) {
+	rep := AnalyzeCriticalPath(syntheticSpan())
+	if rep.Spans != 1 || rep.Reconciled != 1 || rep.Mismatched != 0 {
+		t.Fatalf("spans=%d reconciled=%d mismatched=%d, want 1/1/0",
+			rep.Spans, rep.Reconciled, rep.Mismatched)
+	}
+	want := map[string]int64{
+		StageWire:             200, // 300-100 modelled flight
+		StageShardQueue:       100, // 300..450 minus the 50ns apply
+		StageApply:            50,
+		StageAckNotify:        70,  // 450..520
+		StageCompletionWakeup: 80,  // 520..600
+	}
+	var sum int64
+	for stage, d := range want {
+		s := rep.Stage(stage)
+		if s == nil || s.Total != d {
+			got := int64(-1)
+			if s != nil {
+				got = s.Total
+			}
+			t.Errorf("stage %s total = %d, want %d", stage, got, d)
+		}
+		sum += d
+	}
+	if rep.TotalVTime != sum || rep.StageTotal() != rep.TotalVTime {
+		t.Errorf("stage sum %d / total vtime %d, want both %d",
+			rep.StageTotal(), rep.TotalVTime, sum)
+	}
+	if rep.EndToEnd.Total != 500 {
+		t.Errorf("end-to-end total = %d, want 500", rep.EndToEnd.Total)
+	}
+}
+
+// TestCritPathRetransmitStallAttribution injects a link-level
+// retransmit record inside the send->apply window and checks the stall
+// is carved out of the shard-queue remainder — and that the retransmit
+// event itself never becomes a span.
+func TestCritPathRetransmitStallAttribution(t *testing.T) {
+	events := syntheticSpan()
+	// Retransmit on the 1->0 link at t=380, inside (100, 450]: actual
+	// delivery was delayed ~280 past the original send.
+	events = append(events, TraceEvent{At: 380, Rank: 1, Cat: "retransmit", Peer: 0, ID: 99})
+	rep := AnalyzeCriticalPath(events)
+	if rep.Spans != 1 {
+		t.Fatalf("spans = %d, want 1 (retransmit records must not form spans)", rep.Spans)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("mismatched = %d, want 0", rep.Mismatched)
+	}
+	// After the 200ns wire share, 150ns remain in the send->apply gap;
+	// the stall estimate clamp(380-100, 0, 150) consumes all of it.
+	stall := rep.Stage(StageRetransmitStall)
+	if stall == nil || stall.Total != 150 {
+		got := int64(-1)
+		if stall != nil {
+			got = stall.Total
+		}
+		t.Fatalf("retransmit-stall total = %d, want 150", got)
+	}
+	if rep.StageTotal() != rep.TotalVTime {
+		t.Fatalf("stage total %d != end-to-end vtime %d", rep.StageTotal(), rep.TotalVTime)
+	}
+	// A retransmit on an unrelated link must not create a stall.
+	clean := append(syntheticSpan(), TraceEvent{At: 380, Rank: 2, Cat: "retransmit", Peer: 3})
+	if s := AnalyzeCriticalPath(clean).Stage(StageRetransmitStall); s != nil && s.Total != 0 {
+		t.Fatalf("unrelated-link retransmit produced stall %d, want 0", s.Total)
+	}
+}
+
+// TestCritPathEmptyAndUncorrelated: no events, nil input, and ID==0
+// events (fastpath completes, fences) all yield an empty, well-formed
+// report rather than a crash or phantom spans.
+func TestCritPathEmptyAndUncorrelated(t *testing.T) {
+	for _, events := range [][]TraceEvent{
+		nil,
+		{},
+		{{At: 5, Rank: 0, Cat: "fence", ID: 0}, {At: 9, Rank: 1, Cat: "complete", ID: 0}},
+	} {
+		rep := AnalyzeCriticalPath(events)
+		if rep.Spans != 0 || rep.TotalVTime != 0 || len(rep.Slowest) != 0 {
+			t.Fatalf("empty input produced spans=%d vtime=%d slowest=%d",
+				rep.Spans, rep.TotalVTime, len(rep.Slowest))
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON on empty report: %v", err)
+		}
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText on empty report: %v", err)
+		}
+	}
+}
+
+// TestCritPathObservePublishesStageHistograms: Observe lands one
+// latency.stage.<name> histogram per populated stage plus the
+// end-to-end histogram in the registry.
+func TestCritPathObservePublishesStageHistograms(t *testing.T) {
+	rep := AnalyzeCriticalPath(syntheticSpan())
+	reg := NewRegistry()
+	rep.Observe(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{"latency.stage.wire", "latency.stage.apply", "latency.stage.end-to-end"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Errorf("registry missing populated histogram %q", name)
+		}
+	}
+}
+
+// TestCritPathJSONRoundTrips: the sidecar JSON parses back and carries
+// the reconciliation fields tooling keys on.
+func TestCritPathJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AnalyzeCriticalPath(syntheticSpan()).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		Spans      int         `json:"spans"`
+		Reconciled int         `json:"reconciled"`
+		Mismatched int         `json:"mismatched"`
+		Stages     []StageStat `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("sidecar does not parse: %v", err)
+	}
+	if out.Spans != 1 || out.Reconciled != 1 || out.Mismatched != 0 || len(out.Stages) == 0 {
+		t.Fatalf("round-trip lost fields: %+v", out)
+	}
+}

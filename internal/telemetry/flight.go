@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The flight recorder keeps a bounded ring of the most recent
+// noteworthy runtime events (deliveries, confirms, retransmissions,
+// faults) so that when something goes wrong — a link exhausts its retry
+// budget, an apply panics — the postmortem names what happened in the
+// moments before, not just the final error. Everything is preallocated:
+// recording is a mutex-guarded ring write with no allocation, and a nil
+// *FlightRecorder discards notes entirely so the disabled path is a
+// single pointer check (pinned by an AllocsPerRun test).
+
+// FlightConfig sizes and places a recorder.
+type FlightConfig struct {
+	// Rank stamps the recorder's postmortems.
+	Rank int
+	// Cap bounds the event ring; 0 means DefaultFlightCap.
+	Cap int
+	// Dir receives auto-dumped postmortem files; empty means
+	// os.TempDir().
+	Dir string
+}
+
+// DefaultFlightCap is the default ring capacity.
+const DefaultFlightCap = 256
+
+// FlightEvent is one recorded moment. Cat values are static strings
+// ("delivery", "confirm", "retransmit", "link-failed", "apply-fault",
+// "request-done") so recording never formats or allocates.
+type FlightEvent struct {
+	At    int64  `json:"at"`
+	Cat   string `json:"cat"`
+	Peer  int    `json:"peer"`
+	ID    uint64 `json:"id,omitempty"`
+	Count int64  `json:"count,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	err error
+}
+
+// LinkHealth is one peer link's relay state at snapshot time.
+type LinkHealth struct {
+	Peer     int  `json:"peer"`
+	Down     bool `json:"down"`
+	Inflight int  `json:"inflight"`
+	// Attempts is the worst per-frame attempt count currently in flight.
+	Attempts int `json:"attempts"`
+}
+
+// ShardHealth is one apply shard's depth and lifetime counters.
+type ShardHealth struct {
+	Shard    int   `json:"shard"`
+	Depth    int64 `json:"depth"`
+	Tasks    int64 `json:"tasks"`
+	Steals   int64 `json:"steals"`
+	Overflow int64 `json:"overflow"`
+}
+
+// QueueHealth is the completion queue's occupancy and drop counters.
+type QueueHealth struct {
+	Depth     int   `json:"depth"`
+	Cap       int   `json:"cap"`
+	Published int64 `json:"published"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// HealthReport is one rank's point-in-time health: what rmatop renders
+// and what postmortems embed. Producers fill only what they have; nil
+// slices simply mean "subsystem not enabled".
+type HealthReport struct {
+	Rank  int   `json:"rank"`
+	VTime int64 `json:"vtime"`
+	// Sticky lists sticky engine errors (link failures, apply faults).
+	Sticky []string `json:"sticky,omitempty"`
+	// RetryBudget is the per-frame retry budget links are allowed
+	// before being declared failed (0 when reliability is off).
+	RetryBudget int          `json:"retry_budget,omitempty"`
+	Links       []LinkHealth `json:"links,omitempty"`
+	Shards      []ShardHealth `json:"shards,omitempty"`
+	Queue       *QueueHealth  `json:"queue,omitempty"`
+	// AppliedFrom counts applied ops per origin rank (watermarks).
+	AppliedFrom map[int]int64 `json:"applied_from,omitempty"`
+}
+
+// Postmortem is the dump format: the reason, the recent-event ring in
+// chronological order, the rank's health snapshot, and the metric
+// deltas accumulated since the recorder was armed.
+type Postmortem struct {
+	Reason string `json:"reason"`
+	Rank   int    `json:"rank"`
+	At     int64  `json:"at"`
+	// Recorded is the lifetime number of notes; len(Events) is bounded
+	// by the ring capacity, so Recorded-len(Events) notes were evicted.
+	Recorded     uint64           `json:"recorded"`
+	Events       []FlightEvent    `json:"events"`
+	Health       *HealthReport    `json:"health,omitempty"`
+	MetricDeltas map[string]int64 `json:"metric_deltas,omitempty"`
+}
+
+// FlightRecorder is the bounded ring. The zero value is not usable;
+// construct with NewFlightRecorder. A nil *FlightRecorder is valid and
+// discards everything.
+type FlightRecorder struct {
+	rank int
+	dir  string
+
+	mu     sync.Mutex
+	ring   []FlightEvent
+	next   int
+	total  uint64
+	health func() HealthReport
+	reg    *Registry
+	base   Snapshot
+	dumps  []string
+	auto   bool
+}
+
+// NewFlightRecorder builds a recorder with its ring preallocated.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultFlightCap
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = os.TempDir()
+	}
+	return &FlightRecorder{
+		rank: cfg.Rank,
+		dir:  cfg.Dir,
+		ring: make([]FlightEvent, cfg.Cap),
+	}
+}
+
+// SetHealth installs the callback that snapshots the owning rank's
+// health at dump time.
+func (f *FlightRecorder) SetHealth(fn func() HealthReport) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.health = fn
+	f.mu.Unlock()
+}
+
+// SetBaseline arms metric-delta tracking: postmortems report each
+// counter's movement since this call.
+func (f *FlightRecorder) SetBaseline(reg *Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	f.mu.Lock()
+	f.reg = reg
+	f.base = snap
+	f.mu.Unlock()
+}
+
+// Note records one event. Nil receiver and full rings are both fine:
+// the former discards, the latter evicts the oldest entry. Cat must be
+// a static string; err may be nil.
+func (f *FlightRecorder) Note(at int64, cat string, peer int, id uint64, count int64, err error) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = FlightEvent{At: at, Cat: cat, Peer: peer, ID: id, Count: count, err: err}
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// Postmortem assembles a dump without writing it anywhere.
+func (f *FlightRecorder) Postmortem(reason string, at int64) *Postmortem {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	n := len(f.ring)
+	var events []FlightEvent
+	if f.total < uint64(n) {
+		events = append(events, f.ring[:f.total]...)
+	} else {
+		events = append(events, f.ring[f.next:]...)
+		events = append(events, f.ring[:f.next]...)
+	}
+	pm := &Postmortem{
+		Reason:   reason,
+		Rank:     f.rank,
+		At:       at,
+		Recorded: f.total,
+		Events:   events,
+	}
+	health := f.health
+	reg, base := f.reg, f.base
+	f.mu.Unlock()
+
+	for i := range pm.Events {
+		if pm.Events[i].err != nil {
+			pm.Events[i].Err = pm.Events[i].err.Error()
+		}
+	}
+	if health != nil {
+		h := health()
+		pm.Health = &h
+	}
+	if reg != nil {
+		cur := reg.Snapshot()
+		deltas := make(map[string]int64)
+		for name, v := range cur.Counters {
+			if d := v - base.Counters[name]; d != 0 {
+				deltas[name] = d
+			}
+		}
+		if len(deltas) > 0 {
+			pm.MetricDeltas = deltas
+		}
+	}
+	return pm
+}
+
+// WritePostmortem writes the dump as indented JSON.
+func (f *FlightRecorder) WritePostmortem(w io.Writer, reason string, at int64) error {
+	pm := f.Postmortem(reason, at)
+	if pm == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pm)
+}
+
+// DumpFile writes a postmortem into the recorder's directory and
+// returns the path. File names are deterministic per (rank, reason,
+// dump ordinal) so repeated dumps never clobber each other.
+func (f *FlightRecorder) DumpFile(reason string, at int64) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	pm := f.Postmortem(reason, at)
+	f.mu.Lock()
+	ordinal := len(f.dumps)
+	dir := f.dir
+	f.mu.Unlock()
+	name := fmt.Sprintf("flight-rank%d-%s-%d.json", f.rank, sanitizeReason(reason), ordinal)
+	path := filepath.Join(dir, name)
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pm); err != nil {
+		file.Close()
+		return "", err
+	}
+	if err := file.Close(); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, path)
+	f.mu.Unlock()
+	return path, nil
+}
+
+// AutoDump writes at most one fault-triggered postmortem per recorder
+// (later faults on the same rank are usually cascades of the first).
+// Best effort: dump errors are reported on stderr, never propagated
+// into the failing hot path.
+func (f *FlightRecorder) AutoDump(reason string, at int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	first := !f.auto
+	f.auto = true
+	f.mu.Unlock()
+	if !first {
+		return
+	}
+	if path, err := f.DumpFile(reason, at); err != nil {
+		fmt.Fprintf(os.Stderr, "flight recorder: postmortem dump failed: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "flight recorder: postmortem written to %s\n", path)
+	}
+}
+
+// Dumps lists the postmortem files written so far.
+func (f *FlightRecorder) Dumps() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.dumps...)
+}
+
+// sanitizeReason keeps dump file names shell-friendly.
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "dump"
+	}
+	return string(out)
+}

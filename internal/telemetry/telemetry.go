@@ -23,6 +23,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -49,45 +50,69 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// ErrDuplicateName reports a registration collision: the dotted name is
+// already bound to a *different* live cell. The first registration wins;
+// the duplicate is rejected so two subsystems can never silently alias
+// each other's metrics. Re-registering the same cell under the same name
+// is idempotent and not an error.
+var ErrDuplicateName = errors.New("telemetry: metric name already registered")
+
 // Register names an existing live counter. The registry aliases it — the
 // owner keeps incrementing its own field; Snapshot reads the same cells.
-// Re-registering a name replaces the alias. No-op on a nil registry.
-func (r *Registry) Register(name string, c *stats.Counter) {
+// Registering the same counter again under its name is a no-op;
+// registering a different counter under a taken name returns
+// ErrDuplicateName (wrapped with the name) and leaves the first binding
+// in place. No-op on a nil registry.
+func (r *Registry) Register(name string, c *stats.Counter) error {
 	if r == nil || c == nil {
-		return
+		return nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = make(map[string]*stats.Counter)
 	}
+	if prev, ok := r.counters[name]; ok && prev != c {
+		return fmt.Errorf("%w: counter %q", ErrDuplicateName, name)
+	}
 	r.counters[name] = c
-	r.mu.Unlock()
+	return nil
 }
 
-// RegisterGauge names an existing live gauge.
-func (r *Registry) RegisterGauge(name string, g *stats.Gauge) {
+// RegisterGauge names an existing live gauge, with the same collision
+// semantics as Register.
+func (r *Registry) RegisterGauge(name string, g *stats.Gauge) error {
 	if r == nil || g == nil {
-		return
+		return nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.gauges == nil {
 		r.gauges = make(map[string]*stats.Gauge)
 	}
+	if prev, ok := r.gauges[name]; ok && prev != g {
+		return fmt.Errorf("%w: gauge %q", ErrDuplicateName, name)
+	}
 	r.gauges[name] = g
-	r.mu.Unlock()
+	return nil
 }
 
-// RegisterHistogram names an existing live histogram.
-func (r *Registry) RegisterHistogram(name string, h *stats.Histogram) {
+// RegisterHistogram names an existing live histogram, with the same
+// collision semantics as Register.
+func (r *Registry) RegisterHistogram(name string, h *stats.Histogram) error {
 	if r == nil || h == nil {
-		return
+		return nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.hists == nil {
 		r.hists = make(map[string]*stats.Histogram)
 	}
+	if prev, ok := r.hists[name]; ok && prev != h {
+		return fmt.Errorf("%w: histogram %q", ErrDuplicateName, name)
+	}
 	r.hists[name] = h
-	r.mu.Unlock()
+	return nil
 }
 
 // Counter returns the counter registered under name, creating a

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"bytes"
 	"encoding/json"
 	"strings"
@@ -138,5 +139,52 @@ func TestSpansAcrossRanks(t *testing.T) {
 	}
 	if len(dump.Spans) != 2 || len(dump.Events) != 6 {
 		t.Fatalf("round-tripped dump: %d spans, %d events", len(dump.Spans), len(dump.Events))
+	}
+}
+
+// TestRegisterCollisionRejected pins the registration contract: a dotted
+// name binds to exactly one live cell. Re-registering the same cell is
+// idempotent; a different cell under a taken name is rejected with
+// ErrDuplicateName (first binding wins) — two subsystems can never
+// silently alias each other's metrics.
+func TestRegisterCollisionRejected(t *testing.T) {
+	r := NewRegistry()
+	var a, b stats.Counter
+	if err := r.Register("nic.msgs", &a); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if err := r.Register("nic.msgs", &a); err != nil {
+		t.Fatalf("idempotent re-registration: %v", err)
+	}
+	err := r.Register("nic.msgs", &b)
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("colliding registration returned %v, want ErrDuplicateName", err)
+	}
+	if !strings.Contains(err.Error(), "nic.msgs") {
+		t.Fatalf("collision error %q does not name the metric", err)
+	}
+	a.Add(7)
+	if got := r.Snapshot().Counters["nic.msgs"]; got != 7 {
+		t.Fatalf("first binding displaced: snapshot reads %d, want 7", got)
+	}
+
+	var g1, g2 stats.Gauge
+	if err := r.RegisterGauge("shard.depth", &g1); err != nil {
+		t.Fatalf("gauge registration: %v", err)
+	}
+	if err := r.RegisterGauge("shard.depth", &g2); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("gauge collision returned %v, want ErrDuplicateName", err)
+	}
+	h1, h2 := &stats.Histogram{}, &stats.Histogram{}
+	if err := r.RegisterHistogram("latency.put", h1); err != nil {
+		t.Fatalf("histogram registration: %v", err)
+	}
+	if err := r.RegisterHistogram("latency.put", h2); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("histogram collision returned %v, want ErrDuplicateName", err)
+	}
+
+	var nilReg *Registry
+	if err := nilReg.Register("x", &a); err != nil {
+		t.Fatalf("nil registry Register returned %v, want nil", err)
 	}
 }

@@ -28,6 +28,8 @@ type config struct {
 	eventsCap int
 	faults    *simnet.FaultPlan
 	retry     *portals.RetryPolicy
+	flight    bool
+	flightDir string
 }
 
 func buildConfig(opts []Option) config {
@@ -212,4 +214,18 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // atomic load and allocate nothing.
 func WithChecker() Option {
 	return func(c *config) { c.checker = true }
+}
+
+// WithFlightRecorder enables the postmortem flight recorder at Open: a
+// bounded ring of recent protocol milestones (deliveries, confirms,
+// retransmissions, faults) that automatically writes a JSON postmortem —
+// recent events, per-rank health, sticky errors, retry state, queue
+// depths, metric deltas — into dir the first time a link fails or the
+// apply engine faults. An empty dir falls back to the system temp
+// directory. Dump on demand with Session.FlightRecorder().DumpFile.
+// Session-level: honoured only at Open, ignored on per-operation calls.
+// When not enabled, recorder feed sites pay one atomic load and allocate
+// nothing.
+func WithFlightRecorder(dir string) Option {
+	return func(c *config) { c.flight, c.flightDir = true, dir }
 }

@@ -162,6 +162,9 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 	if cfg.tracing && s.eng.Tracer() == nil {
 		s.eng.SetTracer(trace.New(cfg.traceCap))
 	}
+	if cfg.flight {
+		s.eng.EnableFlightRecorder(telemetry.FlightConfig{Dir: cfg.flightDir})
+	}
 	if cfg.checker {
 		s.eng.SetAccessRecorder(checker.ForWorld(p.NIC().Endpoint().Network()))
 	}
@@ -232,6 +235,52 @@ func (s *Session) DumpTimeline(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, t.Timeline())
 	return err
+}
+
+// FlightRecorder returns this session's postmortem flight recorder, or
+// nil when WithFlightRecorder was never passed to an Open on this rank.
+func (s *Session) FlightRecorder() *telemetry.FlightRecorder {
+	return s.eng.FlightRecorder()
+}
+
+// CriticalPath merges every traced rank's protocol events into one
+// cross-rank timeline and decomposes each operation span into named
+// stages (issue-queue, pack, wire, retransmit-stall, shard-queue, apply,
+// ack-notify, completion-wakeup — see telemetry.StageOrder). Ranks
+// without a tracer simply contribute no events; it errors if this rank
+// itself has no tracer. When this session has a metrics registry, the
+// per-span stage durations are also published as latency.stage.*
+// histograms.
+func (s *Session) CriticalPath() (*telemetry.CriticalPathReport, error) {
+	if s.eng.Tracer() == nil {
+		return nil, fmt.Errorf("rma: session has no tracer (open with rma.WithTracing): %w", ErrBadHandle)
+	}
+	world := s.proc.World()
+	perRank := make(map[int][]trace.Event)
+	for r := 0; r < world.Size(); r++ {
+		eng := core.Attached(world.Proc(r))
+		if eng == nil {
+			continue
+		}
+		if ring := eng.Tracer(); ring != nil {
+			perRank[r] = ring.Snapshot()
+		}
+	}
+	rep := telemetry.AnalyzeCriticalPath(telemetry.Timeline(perRank))
+	if reg := s.eng.Metrics(); reg != nil {
+		rep.Observe(reg)
+	}
+	return rep, nil
+}
+
+// DumpCriticalPath writes the cross-rank critical-path stage breakdown
+// to w as an aligned table. It errors if the session has no tracer.
+func (s *Session) DumpCriticalPath(w io.Writer) error {
+	rep, err := s.CriticalPath()
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(w)
 }
 
 // Expose allocates size bytes and exposes them as a target_mem object.
