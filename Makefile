@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff profile-smoke
+.PHONY: check build vet lint lint-json test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff profile-smoke
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
@@ -18,9 +18,25 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own RMA static analyzers (lostrequest,
-# epochorder, attrmisuse, boundscheck, deprecated); see cmd/rmalint.
+# epochorder, remoteconflict, lockorder, attrmisuse, boundscheck,
+# deprecated); see cmd/rmalint.
 lint: vet
 	$(GO) run ./cmd/rmalint ./...
+
+# lint-json emits the versioned machine-readable findings report (CI
+# uploads it as an artifact so suppression counts stay auditable even on
+# green runs). The time budget asserts the interprocedural tier stays
+# cheap: one summary computation per package, shared by all analyzers.
+LINT_BUDGET_SECONDS ?= 120
+lint-json:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/rmalint -json ./... > rmalint-report.json; rc=$$?; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "rmalint -json: $${elapsed}s (budget $(LINT_BUDGET_SECONDS)s), exit $$rc"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "rmalint exceeded the $(LINT_BUDGET_SECONDS)s wall-clock budget" >&2; exit 1; \
+	fi; \
+	exit $$rc
 
 test:
 	$(GO) test ./...

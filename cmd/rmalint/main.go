@@ -11,15 +11,18 @@
 //
 //	-only name[,name]  run only the named analyzers
 //	-list              print the analyzers and exit
-//	-json              emit findings as JSON instead of text
+//	-json              emit the versioned findings report as JSON
 //
-// Findings print as path:line:col: message [analyzer]; the exit status is
-// 1 when anything was reported. Suppress a finding at its use site with a
-// //rmalint:ignore <analyzer> comment on the same line or the line above.
+// Findings print as path:line:col: message [analyzer]; -json emits the
+// analysis.Report schema (version, analyzers run, findings, suppressed
+// counts per analyzer). Exit codes: 0 when clean, 1 when findings were
+// reported, 2 on a load or internal error. Suppress a finding at its use
+// site with a //rmalint:ignore <analyzer> <reason> comment on the same
+// line or the line above; the reason is mandatory and the analyzer name
+// must be known (or "all").
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -81,34 +84,18 @@ func main() {
 		kept = append(kept, p)
 	}
 
-	diags := analysis.Run(kept, analyzers)
+	res := analysis.Run(kept, analyzers)
 	if *asJSON {
-		type finding struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		findings := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			findings = append(findings, finding{
-				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := analysis.NewReport(analyzers, res).Encode(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "rmalint: %v\n", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Printf("%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 		}
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
 }

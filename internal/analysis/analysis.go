@@ -7,10 +7,13 @@
 //
 // Diagnostics can be suppressed at the use site with a comment:
 //
-//	//rmalint:ignore lostrequest  reason...
+//	//rmalint:ignore lostrequest reason the suppression is sound
 //
-// on the same line as the diagnostic or the line above it. Omitting the
-// analyzer name suppresses every analyzer on that line.
+// on the same line as the diagnostic or the line above it. The analyzer
+// name "all" suppresses every analyzer on that line. The reason is
+// mandatory: an ignore comment without a known analyzer name (or "all")
+// and a non-empty reason is itself reported, under the non-suppressible
+// analyzer name "suppression".
 package analysis
 
 import (
@@ -41,8 +44,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	suppress suppressions
-	diags    *[]Diagnostic
+	suppress   suppressions
+	diags      *[]Diagnostic
+	suppressed map[string]int
 }
 
 // Diagnostic is one finding, located by full position.
@@ -56,10 +60,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
+// Result is the outcome of one Run: the findings that survived
+// suppression, plus how many each analyzer had suppressed (the audit
+// trail the JSON report carries so fire-and-forget ignores stay visible).
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressed counts muted findings per analyzer name.
+	Suppressed map[string]int
+}
+
 // Reportf records a finding at pos unless a suppression comment covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.suppress.covers(position, p.Analyzer.Name) {
+		p.suppressed[p.Analyzer.Name]++
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -69,8 +83,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// suppressions maps file/line to the set of analyzer names ignored there.
-// The empty name means "all analyzers".
+// suppression is one parsed //rmalint:ignore comment.
+type suppression struct {
+	name   string // analyzer name, or "" meaning all
+	reason string
+	pos    token.Position
+}
+
+// suppressions maps file/line to the ignore comments that cover it. The
+// empty name means "all analyzers".
 type suppressions map[string]map[int][]string
 
 func (s suppressions) covers(pos token.Position, analyzer string) bool {
@@ -90,8 +111,9 @@ func (s suppressions) covers(pos token.Position, analyzer string) bool {
 }
 
 // collectSuppressions scans every comment of the package's files for
-// rmalint:ignore markers.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+// rmalint:ignore markers and parses them into per-line analyzer sets.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression, suppressions) {
+	var parsed []suppression
 	s := suppressions{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -100,43 +122,81 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				if !ok {
 					continue
 				}
-				name := ""
+				sup := suppression{pos: fset.Position(c.Pos())}
 				if fields := strings.Fields(text); len(fields) > 0 {
-					name = fields[0]
+					sup.name = fields[0]
+					sup.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
-				pos := fset.Position(c.Pos())
-				lines := s[pos.Filename]
+				parsed = append(parsed, sup)
+
+				name := sup.name
+				if name == "all" {
+					name = ""
+				}
+				lines := s[sup.pos.Filename]
 				if lines == nil {
 					lines = map[int][]string{}
-					s[pos.Filename] = lines
+					s[sup.pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[sup.pos.Line] = append(lines[sup.pos.Line], name)
 			}
 		}
 	}
-	return s
+	return parsed, s
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+// validateSuppressions enforces the ignore-comment contract — a known
+// analyzer name (or "all") plus a non-empty reason — and reports
+// violations under the reserved, non-suppressible analyzer name
+// "suppression".
+func validateSuppressions(parsed []suppression, analyzers []*Analyzer, diags *[]Diagnostic) {
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, sup := range parsed {
+		var msg string
+		switch {
+		case sup.name == "":
+			msg = "rmalint:ignore without an analyzer name: name the analyzer being suppressed (or \"all\") and give a reason"
+		case !known[sup.name]:
+			msg = fmt.Sprintf("rmalint:ignore names unknown analyzer %q (use rmalint -list, or \"all\")", sup.name)
+		case sup.reason == "":
+			msg = fmt.Sprintf("rmalint:ignore %s without a reason: every suppression must say why it is sound", sup.name)
+		default:
+			continue
+		}
+		*diags = append(*diags, Diagnostic{Pos: sup.pos, Analyzer: "suppression", Message: msg})
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position, plus per-analyzer suppression counts.
+// Malformed //rmalint:ignore comments are themselves findings (analyzer
+// "suppression") and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{Suppressed: map[string]int{}}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		parsed, sup := collectSuppressions(pkg.Fset, pkg.Files)
+		validateSuppressions(parsed, analyzers, &res.Diagnostics)
 		for _, a := range analyzers {
 			a.Run(&Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				suppress:  sup,
-				diags:     &diags,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				suppress:   sup,
+				diags:      &res.Diagnostics,
+				suppressed: res.Suppressed,
 			})
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -148,14 +208,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return res
 }
 
-// All returns the four rmalint analyzers in reporting order.
+// All returns the rmalint analyzers in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LostRequestAnalyzer,
 		EpochOrderAnalyzer,
+		RemoteConflictAnalyzer,
+		LockOrderAnalyzer,
 		AttrMisuseAnalyzer,
 		BoundsCheckAnalyzer,
 		DeprecatedAnalyzer,

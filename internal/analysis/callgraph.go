@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the intra-package call graph the interprocedural tier
+// (summary.go) is computed over. Nodes are the package's own declared
+// functions and methods with bodies; edges point at same-package callees
+// resolved through the type checker. Calls through function values,
+// interfaces, and other packages have no node here — the summary layer
+// treats them as unknown, which is what keeps every report definite.
+
+// cgNode is one declared function in the package's call graph.
+type cgNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	// callees are the same-package functions this body may invoke,
+	// including calls made inside nested blocks and function literals
+	// (may-semantics: the summary layer decides per effect how much of
+	// the body it trusts).
+	callees map[*types.Func]bool
+	// scc is the index of this node's strongly connected component.
+	// Components are numbered in the order Tarjan emits them, which is
+	// bottom-up: every callee outside the component has a smaller index.
+	scc int
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// callGraph is the package's call graph plus a bottom-up traversal order.
+type callGraph struct {
+	nodes map[*types.Func]*cgNode
+	// order lists every node so that all callees of a node either precede
+	// it or share its SCC. Summaries are computed in this order.
+	order []*cgNode
+	// sccSize counts the members of each component: a component of size
+	// one with no self-loop is non-recursive and can be summarized
+	// precisely; anything else degrades to unknown.
+	sccSize map[int]int
+}
+
+// recursive reports whether fn takes part in recursion (its SCC has more
+// than one member, or it calls itself).
+func (g *callGraph) recursive(fn *types.Func) bool {
+	n := g.nodes[fn]
+	if n == nil {
+		return false
+	}
+	return g.sccSize[n.scc] > 1 || n.callees[fn]
+}
+
+// buildCallGraph constructs the call graph for one loaded package.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*cgNode{}, sccSize: map[int]int{}}
+
+	// Pass 1: nodes, one per declared function with a body.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.nodes[fn] = &cgNode{fn: fn, decl: fd, callees: map[*types.Func]bool{}, index: -1}
+		}
+	}
+
+	// Pass 2: edges to same-package declared callees.
+	for _, n := range g.nodes {
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if target := callee(pkg.Info, call); target != nil && g.nodes[target] != nil {
+				n.callees[target] = true
+			}
+			return true
+		})
+	}
+
+	// Tarjan's SCC algorithm, iterative in spirit but the package graphs
+	// here are small enough that plain recursion is fine. Components pop
+	// in bottom-up order: a component is emitted only after everything it
+	// reaches has been.
+	var (
+		idx   int
+		stack []*cgNode
+		visit func(n *cgNode)
+	)
+	visit = func(n *cgNode) {
+		n.index, n.lowlink = idx, idx
+		idx++
+		stack = append(stack, n)
+		n.onStack = true
+		for callee := range n.callees {
+			m := g.nodes[callee]
+			if m.index < 0 {
+				visit(m)
+				if m.lowlink < n.lowlink {
+					n.lowlink = m.lowlink
+				}
+			} else if m.onStack && m.index < n.lowlink {
+				n.lowlink = m.index
+			}
+		}
+		if n.lowlink == n.index {
+			scc := len(g.sccSize)
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				m.scc = scc
+				g.sccSize[scc]++
+				g.order = append(g.order, m)
+				if m == n {
+					break
+				}
+			}
+		}
+	}
+	// Deterministic visit order: files then declaration order.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if n := g.nodes[fn]; n != nil && n.index < 0 {
+						visit(n)
+					}
+				}
+			}
+		}
+	}
+	return g
+}

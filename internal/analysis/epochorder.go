@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // EpochOrderAnalyzer reports provably invalid orders of MPI-2 window
@@ -10,13 +12,22 @@ import (
 // ErrEpoch failures, caught before the program runs. It analyzes each
 // statement list linearly (no cross-branch merging), so every report is a
 // sequence the runtime is guaranteed to reject.
+//
+// The interprocedural tier (summary.go) lets the state machine follow the
+// window through same-package helpers: a call to a helper replays the
+// helper's definite epoch transitions on the argument window, deferred
+// calls (including deferred closing helpers) apply at list exit in LIFO
+// order, and a window obtained from a helper that creates one starts in
+// the state the helper left it. A window passed to a call whose effects
+// are unknown falls back to unknown state — never a false report.
 var EpochOrderAnalyzer = &Analyzer{
 	Name: "epochorder",
 	Doc: "finds statically invalid MPI-2 epoch sequences on mpi2rma windows:\n" +
 		"double Lock on one rank, Unlock without Lock, Complete without Start,\n" +
 		"Wait/Test without Post, Fence or Free inside a PSCW/lock epoch, use\n" +
-		"after Free, and (for windows created in the same block) RMA access\n" +
-		"outside any epoch.",
+		"after Free, and (for windows created in the same block or returned by\n" +
+		"a summarized helper) RMA access outside any epoch. Helper calls and\n" +
+		"defers are followed through per-function summaries.",
 	Run: runEpochOrder,
 }
 
@@ -34,7 +45,7 @@ const (
 // (everything closed); any other window starts unknown and only becomes
 // known through the calls observed.
 type winState struct {
-	local       bool          // WinCreate seen in this list
+	local       bool          // created in this list (WinCreate or summarized helper)
 	fence       tri           // a fence epoch has been opened (never closes in mpi2rma)
 	start       tri           // access epoch (Start..Complete) open
 	post        tri           // exposure epoch (Post..Wait) open
@@ -80,26 +91,48 @@ func (w *winState) noEpochOpen() bool {
 	return w.local // absent lock entries mean "closed" only for local windows
 }
 
+// forget resets the window to fully unknown state (it was handed to code
+// whose effects on it are unprovable).
+func (w *winState) forget() {
+	*w = winState{locks: map[int64]tri{}}
+}
+
 func runEpochOrder(pass *Pass) {
+	sums := summariesFor(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch b := n.(type) {
 			case *ast.BlockStmt:
-				checkEpochList(pass, b.List)
+				checkEpochList(pass, sums, b.List)
 			case *ast.CaseClause:
-				checkEpochList(pass, b.Body)
+				checkEpochList(pass, sums, b.Body)
 			case *ast.CommClause:
-				checkEpochList(pass, b.Body)
+				checkEpochList(pass, sums, b.Body)
 			}
 			return true
 		})
 	}
 }
 
+// deferredEpoch is one deferred call's pending effect on tracked windows,
+// applied at list exit.
+type deferredEpoch struct {
+	obj    types.Object
+	ops    []epochOp // nil means "forget the window"
+	pos    ast.Node
+	via    string // "call to f: " when the ops came from a helper summary
+	forget bool
+}
+
 // checkEpochList runs the linear epoch state machine over one statement
 // list. Nested blocks are their own lists (visited separately with fresh
 // state), so control flow never merges and every report is definite.
-func checkEpochList(pass *Pass, stmts []ast.Stmt) {
+// Deferred calls are collected and applied at the end of the list in LIFO
+// order — the closest linear model of "runs at function exit" that never
+// reorders one defer's effect before a statement that precedes the list
+// end.
+func checkEpochList(pass *Pass, sums *pkgSummaries, stmts []ast.Stmt) {
+	info := pass.TypesInfo
 	wins := map[types.Object]*winState{}
 	state := func(obj types.Object) *winState {
 		w := wins[obj]
@@ -109,123 +142,257 @@ func checkEpochList(pass *Pass, stmts []ast.Stmt) {
 		}
 		return w
 	}
+	var deferred []deferredEpoch
+
+	// winEffects classifies one call's effect on tracked windows without
+	// applying it: the direct-statement path applies immediately, the
+	// defer path saves it for list exit.
+	winEffects := func(call *ast.CallExpr) []deferredEpoch {
+		fn := callee(info, call)
+		key := funcKey(fn)
+		const winPrefix = mpi2Path + ".Win."
+		if strings.HasPrefix(key, winPrefix) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			recv := objectOf(info, sel.X)
+			if recv == nil {
+				return nil
+			}
+			if op, ok := epochOpOfCall(info, fn.Name(), call); ok {
+				return []deferredEpoch{{obj: recv, ops: []epochOp{op}, pos: call}}
+			}
+			return nil // epoch-neutral observer (Comm, Region, ...)
+		}
+
+		// Helper or unknown call taking a window argument: splice the
+		// summary's definite ops, or forget the window.
+		var effs []deferredEpoch
+		sum := sums.summaryOf(info, call)
+		for ai, arg := range call.Args {
+			obj := objectOf(info, arg)
+			if obj == nil || !isWinPtr(obj.Type()) {
+				continue
+			}
+			if sum != nil && !sum.epochUnknown[ai] {
+				if ops := sum.epoch[ai]; len(ops) > 0 {
+					effs = append(effs, deferredEpoch{obj: obj, ops: ops, pos: call, via: "call to " + fn.Name() + ": "})
+				}
+				// No definite ops: the helper provably leaves the epoch
+				// state alone; keep what we know.
+				continue
+			}
+			effs = append(effs, deferredEpoch{obj: obj, pos: call, forget: true})
+		}
+		return effs
+	}
+
+	apply := func(eff deferredEpoch) {
+		w := state(eff.obj)
+		if eff.forget {
+			w.forget()
+			return
+		}
+		for _, op := range eff.ops {
+			applyEpochOp(pass, w, op, eff.pos.Pos(), eff.via)
+		}
+	}
 
 	for _, stmt := range stmts {
-		// WinCreate in this list: the window starts with everything closed.
+		// Deferred calls: effects land at list exit.
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			if effs := winEffects(ds.Call); effs != nil {
+				deferred = append(deferred, effs...)
+			} else if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+				// A deferred closure may do anything to the windows it
+				// captures: forget them at exit.
+				for _, obj := range capturedWindows(info, fl, wins) {
+					deferred = append(deferred, deferredEpoch{obj: obj, pos: ds.Call, forget: true})
+				}
+			}
+			continue
+		}
+
+		// Window-creating assignments: WinCreate directly, or a helper
+		// summarized as returning a window it created.
 		if assign, ok := stmt.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 {
-			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok &&
-				calleeKey(pass.TypesInfo, call) == mpi2Path+".RMA.WinCreate" && len(assign.Lhs) > 0 {
-				if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-					obj := pass.TypesInfo.Defs[id]
-					if obj == nil {
-						obj = pass.TypesInfo.Uses[id]
-					}
-					if obj != nil {
-						wins[obj] = &winState{local: true, fence: no, start: no, post: no, locks: map[int64]tri{}}
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+				resultIdx, ops := int(-1), []epochOp(nil)
+				if calleeKey(info, call) == mpi2Path+".RMA.WinCreate" {
+					resultIdx = 0
+				} else if sum := sums.summaryOf(info, call); sum != nil && sum.winResult >= 0 {
+					resultIdx, ops = sum.winResult, sum.winResultOps
+				}
+				if resultIdx >= 0 && resultIdx < len(assign.Lhs) {
+					if id, ok := assign.Lhs[resultIdx].(*ast.Ident); ok && id.Name != "_" {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							w := &winState{local: true, fence: no, start: no, post: no, locks: map[int64]tri{}}
+							wins[obj] = w
+							// Replay the creating helper's own transitions
+							// silently: they were already checked in its body.
+							for _, op := range ops {
+								applyEpochOpSilent(w, op)
+							}
+						}
 					}
 				}
 			}
 		}
+
 		for _, call := range directCalls(stmt) {
-			fn := callee(pass.TypesInfo, call)
-			key := funcKey(fn)
-			const winPrefix = mpi2Path + ".Win."
-			if len(key) <= len(winPrefix) || key[:len(winPrefix)] != winPrefix {
-				continue
+			for _, eff := range winEffects(call) {
+				apply(eff)
 			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok {
-				continue
-			}
-			recv := objectOf(pass.TypesInfo, sel.X)
-			if recv == nil {
-				continue
-			}
-			applyEpochCall(pass, state(recv), fn.Name(), call)
 		}
+	}
+
+	for i := len(deferred) - 1; i >= 0; i-- {
+		apply(deferred[i])
 	}
 }
 
-// applyEpochCall checks one Win method call against the window's tracked
-// state, reporting provable violations, and advances the state.
-func applyEpochCall(pass *Pass, w *winState, method string, call *ast.CallExpr) {
+// capturedWindows lists the tracked window objects a function literal
+// references.
+func capturedWindows(info *types.Info, fl *ast.FuncLit, wins map[types.Object]*winState) []types.Object {
+	var objs []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && !seen[obj] {
+				if _, tracked := wins[obj]; tracked {
+					seen[obj] = true
+					objs = append(objs, obj)
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// epochOpOfCall is epochOpOf restricted to the methods the state machine
+// models; the summary layer shares the same table.
+func epochOpOfCall(info *types.Info, method string, call *ast.CallExpr) (epochOp, bool) {
+	return epochOpOf(info, method, call)
+}
+
+// applyEpochOp checks one abstract epoch transition against the window's
+// tracked state, reporting provable violations, and advances the state.
+// via prefixes the message when the op was spliced from a helper summary
+// ("call to closeWin: ...").
+func applyEpochOp(pass *Pass, w *winState, op epochOp, pos token.Pos, via string) {
 	if w.freed {
-		pass.Reportf(call.Pos(), "%s on a window after Free", method)
+		pass.Reportf(pos, "%s%s on a window after Free", via, op.method)
 		return
 	}
-	switch method {
+	switch op.method {
 	case "Lock":
-		rank, const_ := int64(0), false
-		if len(call.Args) >= 2 {
-			rank, const_ = intConst(pass.TypesInfo, call.Args[1])
-		}
-		if !const_ {
+		if !op.constRank {
 			w.lockUnknown = true
 			return
 		}
-		if w.lockState(rank) == yes {
-			pass.Reportf(call.Pos(), "Lock on rank %d while already holding a lock on that rank (Unlock it first)", rank)
+		if w.lockState(op.rank) == yes {
+			pass.Reportf(pos, "%sLock on rank %d while already holding a lock on that rank (Unlock it first)", via, op.rank)
 		}
-		w.locks[rank] = yes
+		w.locks[op.rank] = yes
 	case "Unlock":
-		rank, const_ := int64(0), false
-		if len(call.Args) >= 1 {
-			rank, const_ = intConst(pass.TypesInfo, call.Args[0])
-		}
-		if !const_ {
+		if !op.constRank {
 			w.lockUnknown = true
 			return
 		}
-		if w.lockState(rank) == no {
-			pass.Reportf(call.Pos(), "Unlock on rank %d without holding the lock", rank)
+		if w.lockState(op.rank) == no {
+			pass.Reportf(pos, "%sUnlock on rank %d without holding the lock", via, op.rank)
 		}
-		w.locks[rank] = no
+		w.locks[op.rank] = no
 	case "Fence":
 		if w.start == yes || w.post == yes || w.anyLockOpen() {
-			pass.Reportf(call.Pos(), "Fence while a PSCW or lock epoch is open (close it with Complete/Wait/Unlock first)")
+			pass.Reportf(pos, "%sFence while a PSCW or lock epoch is open (close it with Complete/Wait/Unlock first)", via)
 		}
 		w.fence = yes
 	case "Start":
 		if w.start == yes {
-			pass.Reportf(call.Pos(), "Start while an access epoch is already open")
+			pass.Reportf(pos, "%sStart while an access epoch is already open", via)
 		}
 		w.start = yes
 	case "Complete":
 		if w.start == no {
-			pass.Reportf(call.Pos(), "Complete without a matching Start")
+			pass.Reportf(pos, "%sComplete without a matching Start", via)
 		}
 		w.start = no
 	case "Post":
 		if w.post == yes {
-			pass.Reportf(call.Pos(), "Post while an exposure epoch is already open")
+			pass.Reportf(pos, "%sPost while an exposure epoch is already open", via)
 		}
 		w.post = yes
 	case "Wait":
 		if w.post == no {
-			pass.Reportf(call.Pos(), "Wait without a matching Post")
+			pass.Reportf(pos, "%sWait without a matching Post", via)
 		}
 		w.post = no
 	case "Test":
 		if w.post == no {
-			pass.Reportf(call.Pos(), "Test without a matching Post")
+			pass.Reportf(pos, "%sTest without a matching Post", via)
 		}
 		w.post = unknown // Test closes the epoch only on success
 	case "Free":
 		if w.start == yes || w.post == yes || w.anyLockOpen() {
-			pass.Reportf(call.Pos(), "Free inside an open epoch (close it with Complete/Wait/Unlock first)")
+			pass.Reportf(pos, "%sFree inside an open epoch (close it with Complete/Wait/Unlock first)", via)
 		}
 		w.freed = true
 	case "Put", "Get", "Accumulate":
 		if w.noEpochOpen() {
-			pass.Reportf(call.Pos(), "RMA %s outside any epoch (MPI-2 requires an open fence, start, or lock epoch)", method)
+			pass.Reportf(pos, "%sRMA %s outside any epoch (MPI-2 requires an open fence, start, or lock epoch)", via, op.method)
 		}
+	}
+}
+
+// applyEpochOpSilent advances the state machine without reporting — used
+// to replay a window-creating helper's transitions, which were already
+// checked in the helper's own body.
+func applyEpochOpSilent(w *winState, op epochOp) {
+	if w.freed {
+		return
+	}
+	switch op.method {
+	case "Lock":
+		if !op.constRank {
+			w.lockUnknown = true
+			return
+		}
+		w.locks[op.rank] = yes
+	case "Unlock":
+		if !op.constRank {
+			w.lockUnknown = true
+			return
+		}
+		w.locks[op.rank] = no
+	case "Fence":
+		w.fence = yes
+	case "Start":
+		w.start = yes
+	case "Complete":
+		w.start = no
+	case "Post":
+		w.post = yes
+	case "Wait":
+		w.post = no
+	case "Test":
+		w.post = unknown
+	case "Free":
+		w.freed = true
 	}
 }
 
 // directCalls extracts the calls a statement performs in order, without
 // descending into nested blocks (their own lists) or function literals
-// (deferred execution). Deferred and spawned calls are skipped: they run
-// at another time and must not advance the linear state.
+// (deferred execution). Deferred and spawned calls are skipped here: the
+// epoch walk models defers itself (at list exit), and goroutines run at
+// another time entirely.
 func directCalls(stmt ast.Stmt) []*ast.CallExpr {
 	var calls []*ast.CallExpr
 	switch s := stmt.(type) {

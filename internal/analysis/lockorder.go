@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderAnalyzer checks the engine's own mutex discipline. The repo's
+// lock hierarchy is declared in the source with field annotations:
+//
+//	tgtMu sync.Mutex //rmalint:lockrank 10
+//
+// Locks must be acquired in ascending rank order; acquiring a lock whose
+// rank is less than or equal to one already held inverts the hierarchy
+// and can deadlock against a thread locking in the documented order. The
+// analyzer also flags blocking channel sends performed while an annotated
+// lock is held (a full channel parks the goroutine with the lock held;
+// a receiver needing the same lock deadlocks) — sends inside a select
+// with a default case are nonblocking and exempt.
+//
+// Calls are followed through per-function summaries: invoking a function
+// that may acquire an annotated lock counts as acquiring it at the call
+// site. Goroutine bodies are separate concurrent scopes — they are
+// analyzed on their own and do not inherit the spawner's held set.
+// Packages without annotations are skipped entirely.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "finds violations of the annotated mutex hierarchy (//rmalint:lockrank\n" +
+		"N on struct fields, acquired in ascending rank): out-of-order Lock,\n" +
+		"relocking a held mutex, calls into functions that acquire a lower or\n" +
+		"equal rank, and blocking channel sends (no select-default) while an\n" +
+		"annotated lock is held.",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	sums := summariesFor(pass)
+	if len(sums.lockRanks) == 0 {
+		return
+	}
+	w := &lockWalker{pass: pass, sums: sums}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.list(fn.Body.List, map[*types.Var]token.Pos{})
+				}
+			case *ast.FuncLit:
+				// Every function literal — goroutine bodies included — is
+				// its own scope with nothing held on entry: what the
+				// spawning goroutine holds is not held by this one, and a
+				// deferred/stored closure runs at an unknown time.
+				w.list(fn.Body.List, map[*types.Var]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+	sums *pkgSummaries
+}
+
+// list walks one statement list carrying the definitely-held lock set.
+// Nested blocks receive a copy (their dominating entry holds the same
+// locks); after a nested block, any lock it may release is dropped from
+// the parent's set so later statements never get a false report.
+func (w *lockWalker) list(stmts []ast.Stmt, held map[*types.Var]token.Pos) {
+	for _, stmt := range stmts {
+		switch st := stmt.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at function exit, not here: the
+			// lock stays held for the rest of the walk, which is exactly
+			// the Lock/defer-Unlock idiom's semantics.
+			continue
+		case *ast.GoStmt:
+			continue // concurrent scope, analyzed separately
+		case *ast.SendStmt:
+			w.checkSend(st, held, false)
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range st.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, clause := range st.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					w.checkSend(send, held, hasDefault)
+				}
+				w.nested(cc.Body, held)
+			}
+			continue
+		}
+
+		for _, call := range directCalls(stmt) {
+			w.call(call, held)
+		}
+
+		// Nested statement lists: walk with a copy of the held set, then
+		// drop anything the nested code may have released.
+		switch st := stmt.(type) {
+		case *ast.BlockStmt:
+			w.nested(st.List, held)
+		case *ast.IfStmt:
+			w.nestedIf(st, held)
+		case *ast.ForStmt:
+			w.nested(st.Body.List, held)
+		case *ast.RangeStmt:
+			w.nested(st.Body.List, held)
+		case *ast.SwitchStmt:
+			w.nestedCases(st.Body, held)
+		case *ast.TypeSwitchStmt:
+			w.nestedCases(st.Body, held)
+		case *ast.LabeledStmt:
+			w.list([]ast.Stmt{st.Stmt}, held)
+		}
+	}
+}
+
+func (w *lockWalker) nested(stmts []ast.Stmt, held map[*types.Var]token.Pos) {
+	w.list(stmts, copyHeld(held))
+	w.dropReleased(stmts, held)
+}
+
+func (w *lockWalker) nestedIf(st *ast.IfStmt, held map[*types.Var]token.Pos) {
+	w.list(st.Body.List, copyHeld(held))
+	w.dropReleased(st.Body.List, held)
+	if st.Else != nil {
+		w.list([]ast.Stmt{st.Else}, held)
+	}
+}
+
+func (w *lockWalker) nestedCases(body *ast.BlockStmt, held map[*types.Var]token.Pos) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			w.nested(cc.Body, held)
+		}
+	}
+}
+
+// dropReleased removes from held every annotated lock the nested
+// statements may unlock (directly or through a summarized call).
+func (w *lockWalker) dropReleased(stmts []ast.Stmt, held map[*types.Var]token.Pos) {
+	info := w.pass.TypesInfo
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if v := lockFieldOf(info, call, w.sums.lockRanks); v != nil {
+				if fn := callee(info, call); fn != nil && fn.Name() == "Unlock" {
+					delete(held, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// call checks one direct call against the held set: annotated Lock/Unlock
+// advances the set, and a summarized callee's transitive acquisitions are
+// checked as if made here.
+func (w *lockWalker) call(call *ast.CallExpr, held map[*types.Var]token.Pos) {
+	info := w.pass.TypesInfo
+	if v := lockFieldOf(info, call, w.sums.lockRanks); v != nil {
+		switch callee(info, call).Name() {
+		case "Lock":
+			if _, ok := held[v]; ok {
+				w.pass.Reportf(call.Pos(), "%s.Lock while %s is already held: self-deadlock",
+					w.sums.lockNames[v], w.sums.lockNames[v])
+			} else if h := w.worstHeld(held, v); h != nil {
+				w.pass.Reportf(call.Pos(),
+					"acquires %s (rank %d) while holding %s (rank %d): lock order violation, the hierarchy is ascending rank",
+					w.sums.lockNames[v], w.sums.lockRanks[v], w.sums.lockNames[h], w.sums.lockRanks[h])
+			}
+			held[v] = call.Pos()
+		case "Unlock":
+			delete(held, v)
+		}
+		return
+	}
+
+	if len(held) == 0 {
+		return
+	}
+	sum := w.sums.summaryOf(info, call)
+	if sum == nil {
+		return
+	}
+	for _, v := range sortedLocks(sum.acquires) {
+		if _, ok := held[v]; ok {
+			w.pass.Reportf(call.Pos(), "call to %s, which acquires %s, while %s is already held: self-deadlock",
+				callee(info, call).Name(), w.sums.lockNames[v], w.sums.lockNames[v])
+			continue
+		}
+		if h := w.worstHeld(held, v); h != nil {
+			w.pass.Reportf(call.Pos(),
+				"call to %s, which acquires %s (rank %d), while holding %s (rank %d): lock order violation, the hierarchy is ascending rank",
+				callee(info, call).Name(), w.sums.lockNames[v], w.sums.lockRanks[v], w.sums.lockNames[h], w.sums.lockRanks[h])
+		}
+	}
+}
+
+// worstHeld returns the held lock that makes acquiring v a hierarchy
+// violation (rank ≥ v's), preferring the highest rank for the message.
+func (w *lockWalker) worstHeld(held map[*types.Var]token.Pos, v *types.Var) *types.Var {
+	var worst *types.Var
+	for h := range held {
+		if w.sums.lockRanks[h] >= w.sums.lockRanks[v] {
+			if worst == nil || w.sums.lockRanks[h] > w.sums.lockRanks[worst] ||
+				(w.sums.lockRanks[h] == w.sums.lockRanks[worst] && w.sums.lockNames[h] > w.sums.lockNames[worst]) {
+				worst = h
+			}
+		}
+	}
+	return worst
+}
+
+func (w *lockWalker) checkSend(send *ast.SendStmt, held map[*types.Var]token.Pos, nonblocking bool) {
+	if nonblocking || len(held) == 0 {
+		return
+	}
+	// Name the highest-ranked held lock (the innermost acquisition).
+	var worst *types.Var
+	for h := range held {
+		if worst == nil || w.sums.lockRanks[h] > w.sums.lockRanks[worst] {
+			worst = h
+		}
+	}
+	w.pass.Reportf(send.Pos(),
+		"channel send while holding %s (rank %d): a full channel parks this goroutine with the lock held (send after unlocking, or use a select with a default case)",
+		w.sums.lockNames[worst], w.sums.lockRanks[worst])
+}
+
+func copyHeld(held map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	cp := make(map[*types.Var]token.Pos, len(held))
+	for v, pos := range held {
+		cp[v] = pos
+	}
+	return cp
+}
+
+// sortedLocks orders a lock set deterministically for reporting.
+func sortedLocks(set map[*types.Var]bool) []*types.Var {
+	locks := make([]*types.Var, 0, len(set))
+	for v := range set {
+		locks = append(locks, v)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i].Name() < locks[j].Name() })
+	return locks
+}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/constant"
 	"go/token"
 	"go/types"
 )
@@ -11,12 +10,20 @@ import (
 // request is discarded in a function that never reaches a completion call:
 // the operation may never be applied, and nothing will ever say so — the
 // one-sided analogue of dropping an error.
+//
+// The interprocedural tier (summary.go) extends both sides of the check
+// across function boundaries: a same-package helper that returns a fresh
+// request counts as a producer (discarding its result is the same bug),
+// and a helper that reaches CompleteAll counts as a completion point.
 var LostRequestAnalyzer = &Analyzer{
 	Name: "lostrequest",
-	Doc: "finds Put/Get/Accumulate requests that are discarded (assigned to _\n" +
-		"or never used) in functions with no later Complete/CompleteAll/\n" +
-		"CompleteCollective; such operations have no completion point at all.\n" +
-		"Blocking operations (WithBlocking, AttrBlocking) are exempt.",
+	Doc: "finds Put/Get/Accumulate requests that are discarded (assigned to _,\n" +
+		"never used, dropped by a bare call statement, or accumulated in a\n" +
+		"slice or struct field nothing ever reads) in functions with no later\n" +
+		"Complete/CompleteAll/CompleteCollective; such operations have no\n" +
+		"completion point at all. Helpers that return fresh requests or reach\n" +
+		"a completion call are followed through their summaries. Blocking\n" +
+		"operations (WithBlocking, AttrBlocking) are exempt.",
 	Run: runLostRequest,
 }
 
@@ -34,43 +41,101 @@ var requestProducers = map[string]bool{
 	corePath + ".Engine.AccumulateAxpy": true,
 }
 
-// completers guarantee completion of previously-issued operations without
-// the request.
-var completers = map[string]bool{
-	rmaPath + ".Session.Complete":           true,
-	rmaPath + ".Session.CompleteAll":        true,
-	rmaPath + ".Session.CompleteCollective": true,
-	corePath + ".Engine.Complete":           true,
-	corePath + ".Engine.CompleteCollective": true,
-}
-
 func runLostRequest(pass *Pass) {
+	sums := summariesFor(pass)
 	// Each declaration body is scanned once, closures included: a closure
 	// shares its enclosing function's lexical order, so a completion after
 	// (or inside) it counts for requests issued before it and vice versa.
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkLostRequests(pass, fd.Body)
+				checkLostRequests(pass, sums, fd.Body)
 			}
 		}
 	}
+	checkRequestFields(pass, sums)
+	checkDeadRequestSlices(pass, sums)
 }
 
-func checkLostRequests(pass *Pass, body *ast.BlockStmt) {
+func checkLostRequests(pass *Pass, sums *pkgSummaries, body *ast.BlockStmt) {
+	info := pass.TypesInfo
 	// Every completion call anywhere in the body (including nested blocks
 	// and closures) counts, by position: crossing control flow we only
 	// claim "no completion is even reachable from here", which keeps the
 	// analyzer free of false positives at the cost of missing some lost
-	// requests behind conditionals.
+	// requests behind conditionals. A call to a helper that may complete
+	// (per its summary) is a completion point too.
+	completionAfter := completionPositions(pass, sums, body)
+
+	reportLost := func(call *ast.CallExpr, name string) {
+		if completionAfter(call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"request returned by %s is discarded and no Complete/CompleteAll/CompleteCollective follows in this function; the operation has no completion point (keep the request and Wait it, pass WithBlocking, or complete the target)",
+			name)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			// A bare producer statement drops the request (and the error)
+			// on the floor outright.
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if idx := sums.producedRequestIndex(info, call); idx >= 0 {
+				reportLost(call, callee(info, call).Name())
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx := sums.producedRequestIndex(info, call)
+			if idx < 0 || idx >= len(st.Lhs) {
+				return true
+			}
+			lhs, ok := st.Lhs[idx].(*ast.Ident)
+			if !ok {
+				return true // stored into a slice/field: escapes (see checkRequestFields)
+			}
+			if lhs.Name != "_" {
+				obj := info.Defs[lhs]
+				if obj == nil {
+					obj = info.Uses[lhs]
+				}
+				if obj == nil || usedElsewhere(info, body, obj, lhs) {
+					return true
+				}
+			}
+			reportLost(call, callee(info, call).Name())
+		}
+		return true
+	})
+}
+
+// completionPositions collects every completion point in the body and
+// returns the "is one after pos" predicate.
+func completionPositions(pass *Pass, sums *pkgSummaries, body *ast.BlockStmt) func(token.Pos) bool {
 	var completions []token.Pos
 	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && completers[calleeKey(pass.TypesInfo, call)] {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if completers[calleeKey(pass.TypesInfo, call)] {
+			completions = append(completions, call.Pos())
+		} else if sum := sums.summaryOf(pass.TypesInfo, call); sum != nil && sum.completes {
 			completions = append(completions, call.Pos())
 		}
 		return true
 	})
-	completionAfter := func(pos token.Pos) bool {
+	return func(pos token.Pos) bool {
 		for _, c := range completions {
 			if c > pos {
 				return true
@@ -78,44 +143,195 @@ func checkLostRequests(pass *Pass, body *ast.BlockStmt) {
 		}
 		return false
 	}
+}
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 {
-			return true
-		}
-		call, ok := assign.Rhs[0].(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := callee(pass.TypesInfo, call)
-		if !requestProducers[funcKey(fn)] || len(assign.Lhs) != 2 {
-			return true
-		}
-		if isBlockingCall(pass.TypesInfo, call) {
-			return true
-		}
-		lhs, ok := assign.Lhs[0].(*ast.Ident)
-		if !ok {
-			return true // stored into a slice/field: escapes
-		}
-		if lhs.Name != "_" {
-			obj := pass.TypesInfo.Defs[lhs]
-			if obj == nil {
-				obj = pass.TypesInfo.Uses[lhs]
+// checkDeadRequestSlices reports local request slices that are only ever
+// appended to: `reqs = append(reqs, r)` with no other use means nothing
+// will ever range over the slice and Wait, so every request in it is as
+// lost as a blank discard.
+func checkDeadRequestSlices(pass *Pass, sums *pkgSummaries) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			if obj == nil || usedElsewhere(pass.TypesInfo, body, obj, lhs) {
+			completionAfter := completionPositions(pass, sums, fd.Body)
+
+			// Pass 1: candidate slice variables and their append sites.
+			appends := map[types.Object][]*ast.AssignStmt{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+					return true
+				}
+				id, ok := assign.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				if obj == nil || !isRequestSlice(obj.Type()) {
+					return true
+				}
+				call, ok := assign.Rhs[0].(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				if !isBuiltinAppend(info, call.Fun) {
+					return true
+				}
+				if first := objectOf(info, call.Args[0]); first != obj {
+					return true
+				}
+				appends[obj] = append(appends[obj], assign)
+				return true
+			})
+
+			// Pass 2: a slice whose every use is accounted for by its own
+			// append statements (LHS + first argument = 2 per append) is
+			// never read.
+			for obj, sites := range appends {
+				if countUses(info, fd.Body, obj) != 2*len(sites) {
+					continue
+				}
+				last := sites[len(sites)-1]
+				if completionAfter(last.Pos()) {
+					continue
+				}
+				pass.Reportf(sites[0].Pos(),
+					"requests are appended to %s but the slice is never read or awaited and no completion follows; every request in it is lost (range over it and Wait, or complete the targets)",
+					obj.Name())
+			}
+		}
+	}
+}
+
+// checkRequestFields reports struct fields of request type that some
+// method stores into but nothing in the package ever reads, in a package
+// that never reaches a completion call: the canonical "stash the request
+// for later, forget the later" bug.
+func checkRequestFields(pass *Pass, sums *pkgSummaries) {
+	info := pass.TypesInfo
+
+	// A package that completes anywhere gets the benefit of the doubt:
+	// target-side completion covers stored requests.
+	packageCompletes := false
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && completers[calleeKey(info, call)] {
+				packageCompletes = true
+			}
+			return !packageCompletes
+		})
+		if packageCompletes {
+			return
+		}
+	}
+
+	// Request-typed fields declared by this package's structs.
+	fields := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
 				return true
 			}
-		}
-		if completionAfter(call.Pos()) {
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil &&
+						(isRequestPtr(obj.Type()) || isRequestSlice(obj.Type())) {
+						fields[obj] = true
+					}
+				}
+			}
 			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	// Classify every selector mention of each field as a store (assignment
+	// LHS, including append-to-self) or a read (anything else).
+	stores := map[types.Object][]token.Pos{}
+	reads := map[types.Object]int{}
+	selfAppend := func(assign *ast.AssignStmt, obj types.Object) bool {
+		if len(assign.Rhs) != 1 {
+			return false
 		}
-		pass.Reportf(call.Pos(),
-			"request returned by %s is discarded and no Complete/CompleteAll/CompleteCollective follows in this function; the operation has no completion point (keep the request and Wait it, pass WithBlocking, or complete the target)",
-			fn.Name())
-		return true
-	})
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return false
+		}
+		if !isBuiltinAppend(info, call.Fun) {
+			return false
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			return info.Uses[sel.Sel] == obj
+		}
+		return false
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || !fields[obj] {
+				return true
+			}
+			// A store is `x.f = ...` (this selector on the LHS); the
+			// append-to-self argument of that same statement is part of the
+			// store, not a read.
+			isStore, isAppendArg := false, false
+			for i := len(stack) - 2; i >= 0; i-- {
+				if assign, ok := stack[i].(*ast.AssignStmt); ok {
+					for _, lhs := range assign.Lhs {
+						if ast.Unparen(lhs) == ast.Expr(sel) {
+							isStore = true
+						}
+					}
+					if !isStore && selfAppend(assign, obj) {
+						if selArg, ok := ast.Unparen(assign.Rhs[0].(*ast.CallExpr).Args[0]).(*ast.SelectorExpr); ok && selArg == sel {
+							isAppendArg = true
+						}
+					}
+					break
+				}
+			}
+			switch {
+			case isStore:
+				stores[obj] = append(stores[obj], sel.Pos())
+			case isAppendArg:
+				// neither a store nor a read
+			default:
+				reads[obj]++
+			}
+			return true
+		})
+	}
+
+	for obj, sites := range stores {
+		if reads[obj] > 0 {
+			continue
+		}
+		for _, pos := range sites {
+			pass.Reportf(pos,
+				"request stored in field %s is never read anywhere in this package, and the package never calls Complete/CompleteAll/CompleteCollective; the operation has no completion point",
+				obj.Name())
+		}
+	}
 }
 
 // isBlockingCall reports whether the operation call carries blocking
@@ -132,58 +348,32 @@ func isBlockingCall(info *types.Info, call *ast.CallExpr) bool {
 	for _, arg := range call.Args {
 		// Constant attrs (including package-level consts like a library's
 		// own blockingAttrs) fold to a value we can test directly.
-		if attrHasBlockingBit(info, arg) {
+		if attrHasBit(info, arg, "AttrBlocking") {
 			return true
 		}
 	}
 	for _, arg := range call.Args {
-		blocking := false
-		ast.Inspect(arg, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok {
-				if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == corePath &&
-					(obj.Name() == "AttrBlocking" || obj.Name() == "StrictDebugAttrs") {
-					blocking = true
-				}
-			}
-			return !blocking
-		})
-		if blocking {
+		if mentionsCoreName(info, arg, "AttrBlocking") || mentionsCoreName(info, arg, "StrictDebugAttrs") {
 			return true
 		}
 	}
 	return false
 }
 
-// attrHasBlockingBit reports whether arg is a constant expression of type
-// core.Attr whose value has the AttrBlocking bit set. The bit's value is
-// read from the core package's own AttrBlocking constant (reached through
-// the argument's type), so the analyzer never hardcodes it.
-func attrHasBlockingBit(info *types.Info, arg ast.Expr) bool {
-	tv, ok := info.Types[arg]
-	if !ok || tv.Value == nil {
-		return false
-	}
-	named, ok := tv.Type.(*types.Named)
+// isBuiltinAppend reports whether fun names the builtin append.
+func isBuiltinAppend(info *types.Info, fun ast.Expr) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
 	if !ok {
 		return false
 	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != corePath || obj.Name() != "Attr" {
-		return false
-	}
-	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
-	if !exact {
-		return false
-	}
-	blocking, ok := obj.Pkg().Scope().Lookup("AttrBlocking").(*types.Const)
-	if !ok {
-		return false
-	}
-	bit, exact := constant.Int64Val(constant.ToInt(blocking.Val()))
-	if !exact {
-		return false
-	}
-	return v&bit != 0
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isRequestSlice reports whether t is []*core.Request.
+func isRequestSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	return ok && isRequestPtr(s.Elem())
 }
 
 // usedElsewhere reports whether obj is referenced in body at any identifier

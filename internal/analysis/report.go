@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportVersion is the schema version of the JSON findings report. Bump
+// it on any incompatible change; DecodeReport rejects versions it does
+// not understand, so CI consumers fail loudly instead of misreading.
+const ReportVersion = 1
+
+// Report is the versioned JSON document `rmalint -json` emits.
+type Report struct {
+	Version int `json:"version"`
+	// Analyzers lists the analyzers that ran, in reporting order.
+	Analyzers []string  `json:"analyzers"`
+	Findings  []Finding `json:"findings"`
+	// Suppressed counts findings muted by //rmalint:ignore comments,
+	// per analyzer name.
+	Suppressed map[string]int `json:"suppressed,omitempty"`
+}
+
+// Finding is one diagnostic, fully located.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// NewReport assembles the report for one Run outcome.
+func NewReport(analyzers []*Analyzer, res *Result) *Report {
+	r := &Report{Version: ReportVersion, Findings: []Finding{}}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for _, d := range res.Diagnostics {
+		r.Findings = append(r.Findings, Finding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	if len(res.Suppressed) > 0 {
+		r.Suppressed = res.Suppressed
+	}
+	return r
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport parses a report and checks the schema version.
+func DecodeReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("decoding rmalint report: %w", err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("rmalint report version %d, this reader understands %d", r.Version, ReportVersion)
+	}
+	return &r, nil
+}

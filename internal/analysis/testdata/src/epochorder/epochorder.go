@@ -136,3 +136,42 @@ func suppressed(w *mpi2rma.Win) {
 	_ = w.Start([]int{1})
 	_ = w.Start([]int{2}) //rmalint:ignore epochorder deliberate for the harness
 }
+
+// Deferred calls run at list exit, not where they are written: the
+// deferred Unlock must not close the epoch before the Put that follows
+// it textually.
+func deferUnlockIsFine(p *runtime.Proc) {
+	r := mpi2rma.Attach(p, mpi2rma.Options{})
+	w, err := r.WinCreate(p.Comm(), p.Alloc(64))
+	if err != nil {
+		return
+	}
+	src := p.Alloc(8)
+	_ = w.Lock(mpi2rma.LockExclusive, 1)
+	defer w.Unlock(1)
+	_ = w.Put(src, 8, nil, 1, 0, 8, nil)
+}
+
+// A deferred Unlock with no lock ever taken is still a violation — it is
+// applied (and reported) at the point the list ends.
+func deferUnlockWithoutLock(p *runtime.Proc) {
+	r := mpi2rma.Attach(p, mpi2rma.Options{})
+	w, err := r.WinCreate(p.Comm(), p.Alloc(64))
+	if err != nil {
+		return
+	}
+	defer w.Unlock(1) // want "Unlock on rank 1 without holding the lock"
+}
+
+// Defers run LIFO: the Unlock defer registered last runs first, so the
+// pair below balances exactly once in the right order.
+func deferLifoIsFine(p *runtime.Proc) {
+	r := mpi2rma.Attach(p, mpi2rma.Options{})
+	w, err := r.WinCreate(p.Comm(), p.Alloc(64))
+	if err != nil {
+		return
+	}
+	defer w.Free()
+	_ = w.Lock(mpi2rma.LockExclusive, 2)
+	defer w.Unlock(2)
+}

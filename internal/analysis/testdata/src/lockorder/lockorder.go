@@ -1,0 +1,71 @@
+// Package lockorder is the golden input for the lockorder analyzer: a
+// miniature engine with an annotated mutex hierarchy and every class of
+// violation — inverted acquisition, self-relock, hierarchy-inverting
+// helper calls, and blocking channel sends under a held lock.
+package lockorder
+
+import "sync"
+
+type engine struct {
+	tgtMu   sync.Mutex //rmalint:lockrank 10
+	cmplMu  sync.Mutex //rmalint:lockrank 20
+	shardMu sync.Mutex //rmalint:lockrank 30
+	done    chan int
+}
+
+func (e *engine) inverted() {
+	e.cmplMu.Lock()
+	e.tgtMu.Lock() // want `acquires engine.tgtMu \(rank 10\) while holding engine.cmplMu \(rank 20\)`
+	e.tgtMu.Unlock()
+	e.cmplMu.Unlock()
+}
+
+func (e *engine) invertedAcrossDefer() {
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	e.cmplMu.Lock() // want `acquires engine.cmplMu \(rank 20\) while holding engine.shardMu \(rank 30\)`
+	e.cmplMu.Unlock()
+}
+
+func (e *engine) relock() {
+	e.tgtMu.Lock()
+	e.tgtMu.Lock() // want "engine.tgtMu.Lock while engine.tgtMu is already held: self-deadlock"
+	e.tgtMu.Unlock()
+	e.tgtMu.Unlock()
+}
+
+// lockTgt acquires the lowest-ranked lock; calling it while holding a
+// higher rank inverts the hierarchy even though the Lock is in another
+// function.
+func (e *engine) lockTgt() {
+	e.tgtMu.Lock()
+	defer e.tgtMu.Unlock()
+}
+
+func (e *engine) callInverts() {
+	e.cmplMu.Lock()
+	defer e.cmplMu.Unlock()
+	e.lockTgt() // want `call to lockTgt, which acquires engine.tgtMu \(rank 10\), while holding engine.cmplMu \(rank 20\)`
+}
+
+func (e *engine) callRelocks() {
+	e.tgtMu.Lock()
+	defer e.tgtMu.Unlock()
+	e.lockTgt() // want "call to lockTgt, which acquires engine.tgtMu, while engine.tgtMu is already held: self-deadlock"
+}
+
+func (e *engine) sendUnderLock(v int) {
+	e.tgtMu.Lock()
+	defer e.tgtMu.Unlock()
+	e.done <- v // want `channel send while holding engine.tgtMu \(rank 10\)`
+}
+
+// The held set follows into nested blocks: the dominating Lock definitely
+// happened on every path that reaches the send.
+func (e *engine) sendUnderLockNested(v int, cond bool) {
+	e.cmplMu.Lock()
+	defer e.cmplMu.Unlock()
+	if cond {
+		e.done <- v // want `channel send while holding engine.cmplMu \(rank 20\)`
+	}
+}

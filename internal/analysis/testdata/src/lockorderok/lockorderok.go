@@ -1,0 +1,90 @@
+// Package lockorderok is the silent golden for the lockorder analyzer:
+// the same annotated hierarchy as package lockorder, used legally. No
+// diagnostics may fire here.
+package lockorderok
+
+import "sync"
+
+type engine struct {
+	tgtMu   sync.Mutex //rmalint:lockrank 10
+	cmplMu  sync.Mutex //rmalint:lockrank 20
+	shardMu sync.Mutex //rmalint:lockrank 30
+	done    chan int
+}
+
+// ascending takes the locks in rank order, which is the hierarchy.
+func (e *engine) ascending() {
+	e.tgtMu.Lock()
+	e.cmplMu.Lock()
+	e.shardMu.Lock()
+	e.shardMu.Unlock()
+	e.cmplMu.Unlock()
+	e.tgtMu.Unlock()
+}
+
+// sequential releases before re-acquiring: never two held at once.
+func (e *engine) sequential() {
+	e.shardMu.Lock()
+	e.shardMu.Unlock()
+	e.tgtMu.Lock()
+	e.tgtMu.Unlock()
+}
+
+// lockTgt acquires the lowest rank; calling it with nothing held is fine.
+func (e *engine) lockTgt() {
+	e.tgtMu.Lock()
+	defer e.tgtMu.Unlock()
+}
+
+func (e *engine) callAscends() {
+	e.lockTgt()
+	e.cmplMu.Lock()
+	e.cmplMu.Unlock()
+}
+
+// nonblockingSendUnderLock uses select-with-default: the send cannot park
+// with the lock held.
+func (e *engine) nonblockingSendUnderLock(v int) {
+	e.tgtMu.Lock()
+	defer e.tgtMu.Unlock()
+	select {
+	case e.done <- v:
+	default:
+	}
+}
+
+// sendAfterRelease: the branch releases before the send.
+func (e *engine) sendAfterRelease(v int) {
+	e.cmplMu.Lock()
+	e.cmplMu.Unlock()
+	e.done <- v
+}
+
+// goroutineScope: the spawned goroutine has its own stack; the parent's
+// held set does not apply to it, so its rank-10 Lock does not invert
+// against the parent's held rank-20 lock, and its send happens after its
+// own release.
+func (e *engine) goroutineScope() {
+	e.cmplMu.Lock()
+	defer e.cmplMu.Unlock()
+	go func() {
+		e.tgtMu.Lock()
+		e.tgtMu.Unlock()
+		e.done <- 1
+	}()
+}
+
+// releasedInBranch: the nested block releases the lock, so after the if
+// the held set must not still claim it.
+func (e *engine) releasedInBranch(cond bool) {
+	e.shardMu.Lock()
+	if cond {
+		e.shardMu.Unlock()
+		e.tgtMu.Lock()
+		e.tgtMu.Unlock()
+		return
+	}
+	e.shardMu.Unlock()
+	e.cmplMu.Lock()
+	e.cmplMu.Unlock()
+}

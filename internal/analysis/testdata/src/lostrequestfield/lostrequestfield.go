@@ -1,0 +1,40 @@
+// Package lostrequestfield is the golden input for lostrequest's
+// package-level field check: requests stashed in struct fields that
+// nothing in the package ever reads, in a package that never reaches a
+// completion call. (The read/complete variants live in the same package
+// on other fields, which is exactly the granularity of the check.)
+package lostrequestfield
+
+import (
+	"mpi3rma/rma"
+)
+
+type tracker struct {
+	// pending is written and forgotten: nothing reads it back to Wait.
+	pending *rma.Request
+	// inflight is written and later awaited.
+	inflight *rma.Request
+	// backlog accumulates requests nothing drains.
+	backlog []*rma.Request
+}
+
+func (t *tracker) stash(s *rma.Session, tm rma.TargetMem, src rma.Region) {
+	req, _ := s.Put(src, 1, rma.Int64, tm, 0)
+	t.pending = req // want "request stored in field pending is never read anywhere in this package"
+}
+
+func (t *tracker) stashBacklog(s *rma.Session, tm rma.TargetMem, src rma.Region) {
+	req, _ := s.Get(src, 1, rma.Int64, tm, 0)
+	t.backlog = append(t.backlog, req) // want "request stored in field backlog is never read anywhere in this package"
+}
+
+func (t *tracker) track(s *rma.Session, tm rma.TargetMem, src rma.Region) {
+	req, _ := s.Put(src, 1, rma.Int64, tm, 8)
+	t.inflight = req
+}
+
+func (t *tracker) drain() {
+	if t.inflight != nil {
+		t.inflight.Wait()
+	}
+}

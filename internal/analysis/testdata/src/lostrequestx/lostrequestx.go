@@ -1,0 +1,104 @@
+// Package lostrequestx is the golden input for the lostrequest analyzer's
+// interprocedural tier: helper functions that produce requests or reach
+// completion calls, followed through their summaries. The pin test
+// re-runs this package with summaries disabled (the PR 3 behavior) and
+// asserts the helper-producer report disappears while the
+// helper-completes case regresses into a false positive.
+package lostrequestx
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+// fire is a request-producing helper: it issues a nonblocking Put and
+// hands the fresh request to its caller, who becomes responsible for it.
+func fire(s *rma.Session, tm rma.TargetMem, src rma.Region) *rma.Request {
+	req, _ := s.Put(src, 1, rma.Int64, tm, 0)
+	return req
+}
+
+// helperRequestDropped: discarding fire's result is the same bug as
+// discarding Put's.
+func helperRequestDropped(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	fire(s, tm, src) // want "request returned by fire is discarded"
+}
+
+// helperRequestAwaited: keeping the helper's request and waiting on it is
+// the intended protocol.
+func helperRequestAwaited(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	req := fire(s, tm, src)
+	req.Wait()
+}
+
+// finish is a completing helper: its summary carries completes=true.
+func finish(s *rma.Session) {
+	_ = s.CompleteAll()
+}
+
+// completesViaHelper: the discarded Put is completed by finish — without
+// the summary this was a false positive.
+func completesViaHelper(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	finish(s)
+}
+
+// bareProducerStatement: dropping both results on the floor with a bare
+// call statement is as lost as a blank assignment.
+func bareProducerStatement(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	s.Put(src, 1, rma.Int64, tm, 0) // want "request returned by Put is discarded"
+}
+
+// deadSliceOfRequests: requests accumulate in a slice nothing reads, so
+// every one of them is lost.
+func deadSliceOfRequests(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	var reqs []*rma.Request
+	for i := 0; i < 4; i++ {
+		req, err := s.Get(src, 1, rma.Int64, tm, 8*i)
+		if err != nil {
+			return
+		}
+		reqs = append(reqs, req) // want "requests are appended to reqs but the slice is never read"
+	}
+}
+
+// liveSliceOfRequests: the same shape, but the slice is ranged over and
+// awaited — no report.
+func liveSliceOfRequests(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	var reqs []*rma.Request
+	for i := 0; i < 4; i++ {
+		req, err := s.Get(src, 1, rma.Int64, tm, 8*i)
+		if err != nil {
+			return
+		}
+		reqs = append(reqs, req)
+	}
+	for _, req := range reqs {
+		req.Wait()
+	}
+}
+
+// fireBlocking returns no live request: the operation already completed,
+// so discarding the helper's result is fine.
+func fireBlocking(s *rma.Session, tm rma.TargetMem, src rma.Region) *rma.Request {
+	req, _ := s.Put(src, 1, rma.Int64, tm, 0, rma.WithBlocking())
+	return req
+}
+
+func blockingHelperDropIsFine(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	fireBlocking(s, tm, src)
+}

@@ -1,0 +1,146 @@
+// Package remoteconflict is the golden input for the remoteconflict
+// analyzer: constant-foldable remote accesses whose byte intervals
+// overlap with a writer and nothing legalizing in between, plus the
+// legalized/atomic/disjoint variants that must stay silent.
+package remoteconflict
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func overlappingPuts(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(16)
+	_, _ = s.Put(src, 2, rma.Int64, tm, 0)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 8) // want `Put of bytes \[8,16\) overlaps the Put of bytes \[0,16\)`
+	_ = s.CompleteAll()
+}
+
+func putThenOverlappingGet(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_, _ = s.Get(src, 1, rma.Int64, tm, 0) // want `Get of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
+	_ = s.CompleteAll()
+}
+
+func rmwVsPlainPut(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_, _ = s.FetchAdd(tm, 0, 1) // want `FetchAdd of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
+	_ = s.CompleteAll()
+}
+
+func orderLegalizes(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.OrderAll()
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}
+
+func completeLegalizes(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.Complete(tm.Owner)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}
+
+func atomicPairIsFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomic())
+	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomic())
+	_ = s.CompleteAll()
+}
+
+func rmwPairIsFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	_, _ = s.FetchAdd(tm, 0, 1)
+	_, _ = s.FetchAdd(tm, 0, 1)
+	_ = s.CompleteAll()
+}
+
+func disjointIsFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 8)
+	_ = s.CompleteAll()
+}
+
+func readsAreFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	dst := p.Alloc(8)
+	_, _ = s.Get(dst, 1, rma.Int64, tm, 0)
+	_, _ = s.Get(dst, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}
+
+func distinctHandlesAreFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm1, _ := s.Expose(64)
+	tm2, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm1, 0)
+	_, _ = s.Put(src, 1, rma.Int64, tm2, 0)
+	_ = s.CompleteAll()
+}
+
+// Non-constant displacements cannot be folded: state for the handle is
+// dropped, never guessed.
+func dynamicDispIsSkipped(p *runtime.Proc, disp int) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, disp)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}
+
+// stampZero is a summarized helper whose constant access splices into
+// callers.
+func stampZero(s *rma.Session, tm rma.TargetMem, src rma.Region) {
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+}
+
+// helperThenDirect: the helper's write and the direct write overlap; the
+// conflict crosses a function boundary (the pin test proves the PR 3
+// analyzer misses it).
+func helperThenDirect(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	stampZero(s, tm, src)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0) // want `Put of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
+	_ = s.CompleteAll()
+}
+
+// stampAndComplete legalizes before returning: callers start clean.
+func stampAndComplete(s *rma.Session, tm rma.TargetMem, src rma.Region) {
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}
+
+func legalizingHelperIsFine(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	src := p.Alloc(8)
+	stampAndComplete(s, tm, src)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
+	_ = s.CompleteAll()
+}

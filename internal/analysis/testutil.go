@@ -9,7 +9,9 @@ import (
 )
 
 // wantRe extracts the quoted patterns of a `// want "p1" "p2"` comment.
-var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+// Patterns may be double-quoted or backtick-quoted (the latter avoids
+// double-escaping regexp metacharacters like \[ and \().
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // RunGolden loads the golden package at pkgPath (a testdata import path —
 // excluded from ./... wildcards but loadable explicitly), runs one
@@ -44,9 +46,10 @@ func RunGolden(t *testing.T, analyzer *Analyzer, pkgPath string) {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
-					re, err := regexp.Compile(m[1])
+					pat := m[1] + m[2] // exactly one group matches
+					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
 					}
 					k := key{pos.Filename, pos.Line}
 					wants[k] = append(wants[k], re)
@@ -55,7 +58,7 @@ func RunGolden(t *testing.T, analyzer *Analyzer, pkgPath string) {
 		}
 	}
 
-	diags := Run([]*Package{pkg}, []*Analyzer{analyzer})
+	diags := Run([]*Package{pkg}, []*Analyzer{analyzer}).Diagnostics
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
 		matched := -1

@@ -99,6 +99,55 @@ func dtypeExtent(info *types.Info, expr ast.Expr) (int64, bool) {
 	return 0, false
 }
 
+// attrHasBit reports whether arg is a constant expression of type
+// core.Attr whose value has the named attribute bit set. The bit's value
+// is read from the core package's own constant (reached through the
+// argument's type), so the analyzers never hardcode it.
+func attrHasBit(info *types.Info, arg ast.Expr, constName string) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != corePath || obj.Name() != "Attr" {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return false
+	}
+	c, ok := obj.Pkg().Scope().Lookup(constName).(*types.Const)
+	if !ok {
+		return false
+	}
+	bit, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	if !exact {
+		return false
+	}
+	return v&bit != 0
+}
+
+// mentionsCoreName reports whether the expression references the named
+// object from internal/core anywhere — the non-folding fallback for attrs
+// built at runtime from core.Attr constants.
+func mentionsCoreName(info *types.Info, arg ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == corePath && obj.Name() == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
 // objectOf resolves an identifier expression to its object (through Uses),
 // or nil for anything that is not a plain identifier.
 func objectOf(info *types.Info, expr ast.Expr) types.Object {

@@ -181,7 +181,7 @@ type Engine struct {
 	// cmplCond wakes Complete calls waiting for counters instead of
 	// probing. pendingBatches routes batch notifications to the
 	// remote-completion requests of the batch's member operations.
-	cmplMu         sync.Mutex
+	cmplMu         sync.Mutex //rmalint:lockrank 20
 	cmplCond       *sync.Cond
 	confirmed      map[int]int64
 	confirmedAt    map[int]vtime.Time
@@ -209,7 +209,7 @@ type Engine struct {
 	// Select's already-satisfied fast path reports. applyWaiters are
 	// Select count-threshold waiters on the delivery counters, serviced
 	// by noteApplied.
-	tgtMu        sync.Mutex
+	tgtMu        sync.Mutex //rmalint:lockrank 10
 	tgtCond      *sync.Cond
 	lastApplied  vtime.Time
 	applied      map[int]int64
@@ -230,10 +230,10 @@ type Engine struct {
 	// guards the designated-shard in-flight envelope and the per-shard
 	// applied watermarks (see shard.go).
 	shardPool *portals.ShardPool
-	shardMu   sync.Mutex
-	desigOpen int // designated-shard ops in flight
-	desigLo   int // envelope: min byte offset covered by those ops
-	desigHi   int // envelope: one past the max byte offset
+	shardMu   sync.Mutex //rmalint:lockrank 30
+	desigOpen int        // designated-shard ops in flight
+	desigLo   int        // envelope: min byte offset covered by those ops
+	desigHi   int        // envelope: one past the max byte offset
 
 	amMu sync.Mutex
 	am   map[uint64]AMHandler

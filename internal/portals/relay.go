@@ -153,7 +153,7 @@ type relay struct {
 	n   *NIC
 	pol RetryPolicy
 
-	mu    sync.Mutex
+	mu    sync.Mutex //rmalint:lockrank 40
 	rng   *rand.Rand // jitter draws; guarded by mu
 	links map[int]*txLink
 }
