@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint lint-json test race smoke smoke-metrics bench-smoke chaos bench bench-json bench-diff profile-smoke
+.PHONY: check build vet lint lint-json test race smoke smoke-metrics bench-smoke chaos chaos-rankdeath bench bench-json bench-diff profile-smoke
 
 # check is the PR gate: vet, the rmalint static analyzers, build, full
 # tests, the race detector over every package, a short E13 smoke bench
@@ -9,7 +9,7 @@ GO ?= go
 # exporters parse, a profiling smoke run proving the critical-path and
 # pprof sidecars come out attributable, and the seeded chaos fault
 # matrix under the race detector.
-check: lint build test race smoke smoke-metrics bench-smoke profile-smoke chaos
+check: lint build test race smoke smoke-metrics bench-smoke profile-smoke chaos chaos-rankdeath
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ profile-smoke:
 # must surface ErrLinkFailed instead of hanging.
 chaos:
 	$(GO) test -race -count=1 -run 'FaultChaos|EventChaos|LinkFailed|ChaosSmoke|Relay|FacadeWithFaults|FacadeLinkFailure' ./internal/core/ ./internal/bench/ ./internal/portals/ ./rma/
+
+# chaos-rankdeath kills a replicated rank mid-run under the same seeded
+# fault matrix: the buddy must promote its replicas onto a spare, origins
+# targeting the dead rank must get ErrRankFailed (never ErrLinkFailed) in
+# bounded time, ops to survivors must keep completing, and the rebuilt
+# regions must converge byte-exactly with the fault-free run.
+chaos-rankdeath:
+	$(GO) test -race -count=1 -run 'RankDeath|RankKill|Replication|Membership|Spare|Postmortem' ./internal/core/ ./internal/simnet/ ./internal/runtime/ ./rma/
 
 bench:
 	$(GO) run ./cmd/rmabench

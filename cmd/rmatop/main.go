@@ -12,6 +12,10 @@
 //	rmatop -ranks 8 -shards 4   # sharded apply engine, more ranks
 //	rmatop -faults              # inject the chaos drop burst: watch
 //	                            # retransmissions eat the retry budget
+//	rmatop -kill 2              # crash rank 2 mid-run: watch the live
+//	                            # column go ALIVE→DEAD, the spare go
+//	                            # SPARE→REBUILDING→ALIVE, and the ring
+//	                            # re-target the successor
 //	rmatop -frames 3 -plain     # finite, scroll-friendly run (CI smoke)
 //
 // The world is the same stack the benchmarks run — rmatop is a viewer,
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,11 +48,16 @@ func main() {
 	interval := flag.Duration("interval", 500*time.Millisecond, "refresh period")
 	frames := flag.Int("frames", 0, "stop after this many frames (0 = run until interrupted)")
 	faults := flag.Bool("faults", false, "inject a seeded drop burst on link 1->0 plus background drops, with reliable delivery on")
+	kill := flag.Int("kill", -1, "crash this compute rank mid-run: adds one spare, arms buddy replication, and the console shows detect -> rebuild -> re-target live")
 	plain := flag.Bool("plain", false, "do not clear the screen between frames (scrollback-friendly)")
 	diagDir := flag.String("diagdir", "", "flight-recorder postmortem directory (default: system temp dir)")
 	flag.Parse()
 	if *ranks < 2 {
 		fmt.Fprintln(os.Stderr, "rmatop: need at least 2 ranks")
+		os.Exit(2)
+	}
+	if *kill >= *ranks {
+		fmt.Fprintf(os.Stderr, "rmatop: -kill %d is not a compute rank (world has %d)\n", *kill, *ranks)
 		os.Exit(2)
 	}
 
@@ -63,12 +73,23 @@ func main() {
 			}},
 		}
 	}
+	if *kill >= 0 {
+		// The kill lands well after exposure and descriptor exchange so
+		// the ring is streaming when the rank goes dark; one spare stands
+		// by for the rebuild.
+		cfg.Spares = 1
+		if cfg.Faults == nil {
+			cfg.Faults = &simnet.FaultPlan{Seed: 4242}
+		}
+		cfg.Faults.RankKills = append(cfg.Faults.RankKills,
+			simnet.RankKill{Rank: *kill, At: vtime.Time(150 * time.Microsecond)})
+	}
 	w := runtime.NewWorld(cfg)
 
 	var stop atomic.Bool
 	done := make(chan error, 1)
 	go func() {
-		done <- w.Run(func(p *runtime.Proc) { workload(p, *shards, *diagDir, &stop) })
+		done <- w.Run(func(p *runtime.Proc) { workload(p, *shards, *diagDir, *kill, &stop) })
 	}()
 
 	sig := make(chan os.Signal, 1)
@@ -99,9 +120,12 @@ func main() {
 // workload is one rank's traffic generator: stream small puts around the
 // ring (rank -> rank+1) with periodic Complete calls, so every subsystem
 // rmatop renders — relay, shards, completion queue, critical path — has
-// live traffic. The real-time sleep paces the loop so the console stays
-// responsive and the simulation does not spin a core per rank.
-func workload(p *runtime.Proc, shards int, diagDir string, stop *atomic.Bool) {
+// live traffic. With -kill the sessions also replicate, and a writer
+// whose downstream neighbor dies awaits the rebuild and re-points the
+// same descriptor at the successor spare. The real-time sleep paces the
+// loop so the console stays responsive and the simulation does not spin
+// a core per rank.
+func workload(p *runtime.Proc, shards int, diagDir string, kill int, stop *atomic.Bool) {
 	opts := []rma.Option{
 		rma.WithMetrics(),
 		rma.WithTracing(4096),
@@ -111,27 +135,55 @@ func workload(p *runtime.Proc, shards int, diagDir string, stop *atomic.Bool) {
 	if shards > 1 {
 		opts = append(opts, rma.WithApplyShards(shards))
 	}
+	if kill >= 0 {
+		opts = append(opts, rma.WithReplication())
+	}
 	s := rma.Open(p, opts...)
+	if p.IsSpare() {
+		// Parked in the spare pool; after the rebuild the NIC agent serves
+		// the redirected ring traffic, so this goroutine only has to stay
+		// alive for the console to render its health.
+		for !stop.Load() {
+			time.Sleep(10 * time.Millisecond)
+		}
+		return
+	}
 	const slot = 64
 	tms, local, err := s.ExposeCollective(slot * p.Comm().Size())
 	if err != nil {
 		return
 	}
 	next := (p.Rank() + 1) % p.Comm().Size()
+	tm := tms[next]
+	serving := next
 	src := rma.Region{Offset: local.Offset + p.Rank()*slot, Size: slot}
-	for i := 0; !stop.Load(); i++ {
-		for j := 0; j < 8; j++ {
-			if _, err := s.Put(src, slot, rma.Byte, tms[next], p.Rank()*slot); err != nil {
+	for !stop.Load() {
+		var err error
+		for j := 0; j < 8 && err == nil; j++ {
+			_, err = s.Put(src, slot, rma.Byte, tm, p.Rank()*slot)
+		}
+		if err == nil {
+			err = s.Complete(serving)
+		}
+		if err != nil {
+			if kill >= 0 && serving == next && errors.Is(err, rma.ErrRankFailed) {
+				// Downstream neighbor died: wait out the rebuild, then
+				// stream the same descriptor at the successor.
+				if spare, rerr := s.AwaitRebuilt(next); rerr == nil {
+					tm.Owner = spare
+					serving = spare
+					continue
+				}
+			}
+			if s.Err() != nil {
+				// Sticky (a failed link, or this rank is the victim and its
+				// own traffic black-holed): keep the rank alive so its
+				// health stays observable, but stop issuing.
+				for !stop.Load() {
+					time.Sleep(10 * time.Millisecond)
+				}
 				return
 			}
-		}
-		if err := s.Complete(next); err != nil && s.Err() != nil {
-			// The link failed sticky (fault runs): keep the rank alive so
-			// its health stays observable, but stop issuing to it.
-			for !stop.Load() {
-				time.Sleep(10 * time.Millisecond)
-			}
-			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -144,15 +196,26 @@ func render(w *runtime.World, frame int, plain bool) {
 	if !plain {
 		b.WriteString("\033[H\033[2J")
 	}
-	fmt.Fprintf(&b, "rmatop — frame %d — %d ranks\n\n", frame, w.Size())
-	fmt.Fprintf(&b, "%-5s %-12s %-22s %-8s %-16s %-14s %s\n",
-		"rank", "vtime", "links(peer:state)", "budget", "shards(d/s/o)", "evq(d/c/drop)", "sticky")
+	if spares := w.TotalRanks() - w.Size(); spares > 0 {
+		fmt.Fprintf(&b, "rmatop — frame %d — %d ranks + %d spare\n\n", frame, w.Size(), spares)
+	} else {
+		fmt.Fprintf(&b, "rmatop — frame %d — %d ranks\n\n", frame, w.Size())
+	}
+	fmt.Fprintf(&b, "%-5s %-11s %-12s %-22s %-8s %-16s %-14s %s\n",
+		"rank", "live", "vtime", "links(peer:state)", "budget", "shards(d/s/o)", "evq(d/c/drop)", "sticky")
 
+	// Liveness is the membership service's view, one state per world rank
+	// (spares included), shared by every engine.
+	states := w.Members().States()
 	perRank := make(map[int][]trace.Event)
-	for r := 0; r < w.Size(); r++ {
+	for r := 0; r < w.TotalRanks(); r++ {
+		live := "-"
+		if r < len(states) {
+			live = states[r].String()
+		}
 		eng := core.Attached(w.Proc(r))
 		if eng == nil {
-			fmt.Fprintf(&b, "%-5d %s\n", r, "(attaching)")
+			fmt.Fprintf(&b, "%-5d %-11s %s\n", r, live, "(attaching)")
 			continue
 		}
 		h := eng.Health()
@@ -201,8 +264,8 @@ func render(w *runtime.World, frame int, plain bool) {
 				sticky = sticky[:48] + "…"
 			}
 		}
-		fmt.Fprintf(&b, "%-5d %-12d %-22s %-8s %-16s %-14s %s\n",
-			r, h.VTime, links, budget, shards, evq, sticky)
+		fmt.Fprintf(&b, "%-5d %-11s %-12d %-22s %-8s %-16s %-14s %s\n",
+			r, live, h.VTime, links, budget, shards, evq, sticky)
 		if ring := eng.Tracer(); ring != nil {
 			perRank[r] = ring.Snapshot()
 		}

@@ -35,6 +35,15 @@ func TestAttrMisuseRetryPolicy(t *testing.T) {
 	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/retryok")
 }
 
+// TestAttrMisuseReplication pins the replication misuse checks:
+// WithReplication is session-only (ignored on transfer calls), and in a
+// package that never installs a fault plan it buys a replica round-trip
+// per mutating operation for protection no death can ever need.
+func TestAttrMisuseReplication(t *testing.T) {
+	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/replmisuse")
+	RunGolden(t, AttrMisuseAnalyzer, "mpi3rma/internal/analysis/testdata/src/replok")
+}
+
 func TestBoundsCheck(t *testing.T) {
 	RunGolden(t, BoundsCheckAnalyzer, "mpi3rma/internal/analysis/testdata/src/boundscheck")
 }

@@ -13,9 +13,10 @@ var AttrMisuseAnalyzer = &Analyzer{
 	Doc: "finds rma option misuse: session-only options passed to transfer\n" +
 		"calls (silently ignored), duplicate options, WithNotify on PutNotify,\n" +
 		"attribute no-ops on RMW and Get calls, options WithStrictDebug already\n" +
-		"implies, WithTargetLayout at Open, and WithRetryPolicy in a package\n" +
-		"that never installs a fault plan (the relay never retransmits on the\n" +
-		"lossless default wire).",
+		"implies, WithTargetLayout at Open, and WithRetryPolicy or\n" +
+		"WithReplication in a package that never installs a fault plan (the\n" +
+		"relay never retransmits and no rank can die on the lossless default\n" +
+		"wire).",
 	Run: runAttrMisuse,
 }
 
@@ -32,6 +33,7 @@ var sessionOnly = map[string]string{
 	"WithChecker":         "the semantic checker is enabled at Open",
 	"WithFaults":          "fault injection is installed at Open",
 	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",
+	"WithReplication":     "buddy replication is armed at Open, before regions are exposed",
 	"WithApplyShards":     "the sharded apply engine is configured at Open",
 	"WithApplyWorkers":    "the apply worker pool is sized at Open",
 	"WithFlightRecorder":  "the flight recorder is installed at Open",
@@ -69,10 +71,11 @@ func runAttrMisuse(pass *Pass) {
 }
 
 // packageInstallsFaults pre-scans the package for any way a fault plan
-// can reach the network: rma.WithFaults, a SetFaults call, or a Faults
-// field in a composite literal (runtime.Config{Faults: ...}). When none
-// exists, WithRetryPolicy configures a relay that never retransmits —
-// the no-op combination checkOptions flags.
+// can reach the network: rma.WithFaults, a SetFaults call, a Faults
+// field in a composite literal (runtime.Config{Faults: ...}), or an
+// assignment to a Faults field (cfg.Faults = plan). When none exists,
+// WithRetryPolicy configures a relay that never retransmits — the no-op
+// combination checkOptions flags.
 func packageInstallsFaults(pass *Pass) bool {
 	found := false
 	for _, file := range pass.Files {
@@ -91,6 +94,13 @@ func packageInstallsFaults(pass *Pass) bool {
 				if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Faults" {
 					found = true
 					return false
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Faults" {
+						found = true
+						return false
+					}
 				}
 			}
 			return true
@@ -124,6 +134,9 @@ func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr, faults 
 			}
 			if name == "WithRetryPolicy" && !faults {
 				pass.Reportf(opt.Pos(), "WithRetryPolicy without a fault plan anywhere in this package: the relay never retransmits on the lossless default wire (pair it with WithFaults or install a FaultPlan)")
+			}
+			if name == "WithReplication" && !faults {
+				pass.Reportf(opt.Pos(), "WithReplication without a fault plan anywhere in this package: no rank can die on the lossless default wire, so every operation pays the replica round-trip for protection that is never needed (pair it with WithFaults or install a FaultPlan)")
 			}
 		case "putnotify":
 			if name == "WithNotify" {

@@ -1,0 +1,23 @@
+// Package replmisuse is the golden input for the attrmisuse replication
+// check: nothing in this package ever installs a fault plan, so no rank
+// can die and buddy replication pays a replica round-trip on every
+// mutating operation for protection that is never needed. It also covers
+// the session-only rule: WithReplication on a transfer call is silently
+// ignored.
+package replmisuse
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func replicationWithoutFaults(p *runtime.Proc) {
+	_ = rma.Open(p, rma.WithReplication()) // want "WithReplication without a fault plan anywhere in this package"
+}
+
+func replicationOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithReplication(), rma.WithBlocking()) // want "WithReplication is ignored on Put"
+	_ = s.CompleteAll()
+}

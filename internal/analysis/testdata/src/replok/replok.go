@@ -1,0 +1,30 @@
+// Package replok is the clean golden input for the attrmisuse
+// replication check: the package installs a fault plan, so ranks can die
+// and the replica round-trip buys real protection — nothing is reported.
+package replok
+
+import (
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+var plan = &rma.FaultPlan{Seed: 1, Default: rma.LinkFaults{Drop: 0.1}}
+
+func replicationWithFaultsSameCall(p *runtime.Proc) {
+	_ = rma.Open(p,
+		rma.WithFaults(plan),
+		rma.WithReplication())
+}
+
+func replicationAlone(p *runtime.Proc) {
+	// Fine: another Open in this package installs the plan (SPMD ranks
+	// often split the configuration across helpers).
+	_ = rma.Open(p, rma.WithReplication())
+}
+
+func faultsByFieldAssignment(cfg *runtime.Config) {
+	// Assigning the field (rather than a composite-literal key) also
+	// counts as installing a plan — launcher-style code builds the
+	// Config imperatively behind flags.
+	cfg.Faults = plan
+}

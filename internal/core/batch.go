@@ -519,6 +519,7 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 			}
 			exp := e.lookupExposure(op.handle)
 			e.scheduleApplyRange(m.Src, at, len(op.wire), op.atomic, op.ordered, exp, op.disp, datatype.ExtentOf(op.tcount, op.tdt), func(end vtime.Time) {
+				deposited := false
 				if exp == nil {
 					e.proc.NIC().BadReq.Inc()
 				} else {
@@ -533,6 +534,7 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 						e.proc.NIC().BadReq.Inc()
 					} else {
 						e.notifyDeposit(m.Src, op.handle, op.disp, datatype.ExtentOf(op.tcount, op.tdt))
+						deposited = true
 					}
 				}
 				if c := e.ck(); c != nil && exp != nil {
@@ -550,7 +552,15 @@ func (e *Engine) handleBatch(m *simnet.Message, at vtime.Time) {
 				if t := e.tr(); t != nil {
 					t.RecordOpf(end, "apply", m.Src, m.Hdr[hReq], "batched member=%d bytes=%d cost=%d", i, len(op.wire), int64(e.applyCost(len(op.wire))))
 				}
-				track.opDone(e.noteApplied(m.Src, end), end)
+				fin := func(end vtime.Time) { track.opDone(e.noteApplied(m.Src, end), end) }
+				if deposited {
+					// The member's counter bump (and, once all members are
+					// done, the batch notification) waits for the buddy to
+					// hold its bytes — pass-through when unreplicated.
+					e.replicate(op.handle, exp, op.disp, datatype.ExtentOf(op.tcount, op.tdt), end, fin)
+				} else {
+					fin(end)
+				}
 			})
 		}
 	})
@@ -637,8 +647,9 @@ func (e *Engine) tryConfirmed(target int, threshold int64) (vtime.Time, bool) {
 // threshold, returning the virtual time of the confirming report. Callers
 // must have established that every outstanding operation reports a counter
 // (willConfirm >= sent), or the wait could hang. A failed link to the
-// target ends the wait with the wrapped ErrLinkFailed instead: the
-// missing confirmations will never arrive. Under the progress serializer
+// target ends the wait with the wrapped ErrLinkFailed instead — and a
+// confirmed-dead target with the wrapped ErrRankFailed: the missing
+// confirmations will never arrive. Under the progress serializer
 // the waiter drains its own deferred queue, like waitAppliedFrom.
 func (e *Engine) waitConfirmed(target int, threshold int64) (vtime.Time, error) {
 	for {
@@ -647,6 +658,12 @@ func (e *Engine) waitConfirmed(target int, threshold int64) (vtime.Time, error) 
 			at := e.confirmedAt[target]
 			e.cmplMu.Unlock()
 			return at, nil
+		}
+		if err := e.failedRanks[target]; err != nil {
+			// Confirmed death outranks a mere link failure: the target's
+			// state is gone, not just the path to it.
+			e.cmplMu.Unlock()
+			return 0, err
 		}
 		if err := e.failedLinks[target]; err != nil {
 			e.cmplMu.Unlock()

@@ -39,6 +39,11 @@ func (e *Engine) Complete(comm *runtime.Comm, tranks ...int) error {
 	}
 	reqs := make([]*Request, 0, len(targets))
 	for _, world := range targets {
+		if err := e.stickyFor(world); err != nil {
+			// A dead target (ErrRankFailed) or failed link (ErrLinkFailed)
+			// can never confirm; report it instead of probing a black hole.
+			return fmt.Errorf("core: complete: %w", err)
+		}
 		e.flushTarget(world)
 		e.mu.Lock()
 		ts := e.targetLocked(world)
@@ -181,6 +186,12 @@ func (e *Engine) Order(comm *runtime.Comm, tranks ...int) error {
 	// An aggregate keeps its members' issue order at the target, but ops
 	// issued after the Order must not join a pre-Order aggregate.
 	for _, world := range targets {
+		if err := e.stickyFor(world); err != nil {
+			// A fence toward a dead rank or failed link can never be
+			// confirmed; surface the sticky error like Complete does
+			// instead of arming a fence that would only fail later.
+			return fmt.Errorf("core: order: %w", err)
+		}
 		e.flushTarget(world)
 	}
 	// Operations issued after the Order are synchronization-separated from
@@ -223,6 +234,15 @@ func (e *Engine) resolveTargets(comm *runtime.Comm, tranks []int) ([]int, error)
 			return comm.Ranks(), nil
 		}
 		if trank < 0 || trank >= comm.Size() {
+			// Spare ranks live outside the communicator; completion toward a
+			// dead rank's successor addresses it by world rank directly.
+			if w := e.proc.World(); w != nil && trank >= comm.Size() && trank < w.TotalRanks() {
+				if !seen[trank] {
+					seen[trank] = true
+					out = append(out, trank)
+				}
+				continue
+			}
 			return nil, fmt.Errorf("core: target rank %d out of range for communicator of size %d: %w", trank, comm.Size(), ErrBadHandle)
 		}
 		world := comm.WorldRank(trank)
@@ -264,6 +284,9 @@ func (e *Engine) maybeFence(comm *runtime.Comm, world int) error {
 	e.mu.Unlock()
 	if !pending {
 		return nil
+	}
+	if err := e.stickyFor(world); err != nil {
+		return fmt.Errorf("core: fence: %w", err)
 	}
 	e.flushTarget(world)
 	e.mu.Lock()

@@ -33,6 +33,14 @@ const (
 	kAM        = portals.KindCoreBase + 11 // active-message extension
 	kBatch     = portals.KindCoreBase + 12 // aggregated put/accumulate batch
 	kNotify    = portals.KindCoreBase + 13 // delivery-counter notification
+
+	// Buddy-replication and rebuild protocol (DESIGN.md §14).
+	kReplExpose  = portals.KindCoreBase + 14 // primary -> buddy: mirror this exposure
+	kReplUpdate  = portals.KindCoreBase + 15 // primary -> buddy: versioned region bytes
+	kReplAck     = portals.KindCoreBase + 16 // buddy -> primary: cumulative replicated version
+	kRebuild     = portals.KindCoreBase + 17 // buddy -> spare: replay one replica
+	kRebuildDone = portals.KindCoreBase + 18 // buddy -> spare: replay finished, start serving
+	kPing        = portals.KindCoreBase + 19 // progress sentinel liveness probe (bait for the relay's failure detector)
 )
 
 // Header word indices shared by the protocol messages.
@@ -192,6 +200,13 @@ type Engine struct {
 	// failure, reported sticky by Err().
 	failedLinks map[int]error
 	linkErr     error
+	// failedRanks records peers the membership service confirmed dead:
+	// requests toward them fail with ErrRankFailed (not ErrLinkFailed —
+	// the rank is gone, not the path). rankErr is the first such death,
+	// one tier above linkErr in Err()'s degradation report. Both are
+	// per-peer: operations toward live ranks keep completing.
+	failedRanks map[int]error
+	rankErr     error
 	// applyErr is the engine-fatal sticky failure (a shard worker panic):
 	// unlike a single failed link it poisons every wait, because the
 	// target-side apply pipeline itself is no longer trustworthy.
@@ -237,6 +252,11 @@ type Engine struct {
 
 	amMu sync.Mutex
 	am   map[uint64]AMHandler
+
+	// repl is the buddy-replication state (see replication.go). The struct
+	// always exists so the protocol handlers have somewhere to land parked
+	// frames; EnableReplication flips it on for this rank's exposures.
+	repl replState
 
 	// depositHook, if set, observes every put/accumulate deposited into
 	// this rank's memory (after application). Layers above use it for
@@ -286,6 +306,10 @@ type Engine struct {
 	ProbeFallbacks  stats.Counter // Complete targets that needed the probe round-trip
 	ShardBypass     stats.Counter // applies routed around the shard pool (serializer/serial path)
 	ShardDesignated stats.Counter // applies routed through the designated shard
+	ReplUpdates     stats.Counter // versioned replica updates shipped to the buddy
+	ReplAcks        stats.Counter // replica acknowledgements answered as buddy
+	Rebuilds        stats.Counter // replayed regions sent to a spare as promoter
+	Pings           stats.Counter // liveness probes sent by the progress sentinel
 }
 
 // gosched yields to let agent and serializer goroutines run between
@@ -312,6 +336,7 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 			confirmedAt:    make(map[int]vtime.Time),
 			pendingBatches: make(map[uint64]*pendingBatch),
 			failedLinks:    make(map[int]error),
+			failedRanks:    make(map[int]error),
 			applied:        make(map[int]int64),
 			appliedAt:      make(map[int]vtime.Time),
 			reorder:        make(map[int]*reorderBuf),
@@ -321,6 +346,7 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 		}
 		e.tgtCond = sync.NewCond(&e.tgtMu)
 		e.cmplCond = sync.NewCond(&e.cmplMu)
+		e.repl.init()
 		switch e.opts.Atomicity {
 		case serializer.MechThread:
 			e.applyQ = serializer.NewApplyQueue()
@@ -346,7 +372,14 @@ func Attach(p *runtime.Proc, opts Options) *Engine {
 		nic.RegisterHandler(kAM, e.handleAM)
 		nic.RegisterHandler(kBatch, e.handleBatch)
 		nic.RegisterHandler(kNotify, e.handleNotify)
+		nic.RegisterHandler(kReplExpose, e.handleReplExpose)
+		nic.RegisterHandler(kReplUpdate, e.handleReplUpdate)
+		nic.RegisterHandler(kReplAck, e.handleReplAck)
+		nic.RegisterHandler(kRebuild, e.handleRebuild)
+		nic.RegisterHandler(kRebuildDone, e.handleRebuildDone)
+		nic.RegisterHandler(kPing, e.handlePing)
 		nic.SetLinkFailureHandler(e.onLinkFailed)
+		p.World().Members().Subscribe(e.onRankDead)
 		nic.SetRetransmitObserver(func(dst int, rseq uint64, attempt int, at vtime.Time) {
 			if t := e.tr(); t != nil {
 				t.RecordOpf(at, "retransmit", dst, rseq, "attempt=%d", attempt)
@@ -432,6 +465,12 @@ func (e *Engine) Close() {
 		if q := e.evq.Load(); q != nil {
 			q.close()
 		}
+		e.repl.mu.Lock()
+		if e.repl.quit != nil {
+			close(e.repl.quit)
+			e.repl.quit = nil
+		}
+		e.repl.mu.Unlock()
 	})
 }
 
@@ -575,37 +614,60 @@ func (e *Engine) sendReplyNIC(at vtime.Time, m *simnet.Message) {
 }
 
 // stickyFor returns the sticky failure that would keep operations to a
-// world rank from ever completing: the engine-fatal apply fault, or the
-// target's failed link.
+// world rank from ever completing: the engine-fatal apply fault, the
+// target's confirmed death, or the target's failed link — in that order
+// of severity.
 func (e *Engine) stickyFor(world int) error {
 	e.cmplMu.Lock()
 	defer e.cmplMu.Unlock()
 	if e.applyErr != nil {
 		return e.applyErr
 	}
+	if err := e.failedRanks[world]; err != nil {
+		return err
+	}
 	return e.failedLinks[world]
 }
 
-// Err reports the engine's sticky failure: non-nil once any link's retry
-// budget has been exhausted. Individual operations to the failed target
-// return (or complete their requests with) an error wrapping
-// ErrLinkFailed; Err lets callers distinguish a degraded session without
-// tracking every request.
+// Err reports the engine's sticky degradation, most severe tier first:
+// the engine-fatal apply fault (this rank's own memory is untrustworthy),
+// the first confirmed rank death (ErrRankFailed), then the first
+// exhausted link (ErrLinkFailed). A non-nil Err does not stop operations
+// toward live, reachable peers — degradation is per-peer; Err only lets
+// callers notice it without tracking every request.
 func (e *Engine) Err() error {
 	e.cmplMu.Lock()
 	defer e.cmplMu.Unlock()
 	if e.applyErr != nil {
 		return e.applyErr
 	}
+	if e.rankErr != nil {
+		return e.rankErr
+	}
 	return e.linkErr
 }
 
 // onLinkFailed is the NIC's link-failure callback: the reliable-delivery
-// relay exhausted its retry budget toward dst. Completion waits on that
-// target can never be satisfied, so every outstanding request and pending
-// batch targeting dst is failed with the wrapped ErrLinkFailed, and
-// waiters on the confirmation counters are woken to observe the failure.
+// relay exhausted its retry budget toward dst. Budget exhaustion is also
+// the failure detector's trigger: the membership service checks the
+// suspect against the simulation's RAS ground truth, and a confirmed
+// death is handled by onRankDead (fanned out to every rank's engine)
+// instead — the outstanding work then fails with ErrRankFailed, not
+// ErrLinkFailed. Only an unconfirmed suspect (the link broke, the rank
+// lives) takes the degradation path below: every outstanding request and
+// pending batch targeting dst is failed with the wrapped ErrLinkFailed,
+// and waiters on the confirmation counters are woken to observe it.
 func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
+	if w := e.proc.World(); w != nil {
+		// A rank that is itself dead keeps exhausting budgets toward live
+		// peers (its outbound frames are blackholed); its reports must not
+		// taint live ranks' liveness state, so only live reporters feed
+		// the failure detector. The zombie still records the local link
+		// failure below — that is what unblocks its own waiting calls.
+		if !w.Net().RankDeadAt(e.proc.Rank(), at) && w.Members().Suspect(dst, at, cause) {
+			return
+		}
+	}
 	err := fmt.Errorf("core: %w", cause)
 
 	e.cmplMu.Lock()
@@ -651,6 +713,63 @@ func (e *Engine) onLinkFailed(dst int, at vtime.Time, cause error) {
 	if f := e.flight.Load(); f != nil {
 		f.Note(int64(at), "link-failed", dst, 0, 0, err)
 		f.AutoDump("link-failed", int64(at))
+	}
+}
+
+// onRankDead is the membership service's death callback, invoked exactly
+// once per engine per confirmed death (from whichever goroutine's budget
+// exhaustion confirmed it). It is onLinkFailed's rank-level sibling:
+// outstanding work toward the dead rank fails in bounded time with the
+// wrapped ErrRankFailed, counter waiters and Select cases observe the
+// failure, EvFault carries the dead rank on the event surface, and —
+// before the flight recorder snapshots the postmortem — the replication
+// layer reacts (the dead rank's buddy starts the rebuild onto a spare;
+// a rank whose buddy died flushes its deferred completions).
+func (e *Engine) onRankDead(dead int, at vtime.Time, cause error) {
+	err := fmt.Errorf("core: rank %d declared dead (%v): %w", dead, cause, ErrRankFailed)
+
+	e.cmplMu.Lock()
+	if _, dup := e.failedRanks[dead]; dup {
+		e.cmplMu.Unlock()
+		return
+	}
+	e.failedRanks[dead] = err
+	if e.rankErr == nil {
+		e.rankErr = err
+	}
+	var victims []*Request
+	for id, pb := range e.pendingBatches {
+		if pb.target != dead {
+			continue
+		}
+		delete(e.pendingBatches, id)
+		victims = append(victims, pb.reqs...)
+	}
+	failedWaiters := serviceWaiters(&e.confirmWaiters, dead, 0, at, err)
+	e.cmplCond.Broadcast()
+	e.cmplMu.Unlock()
+	closeWaiters(failedWaiters)
+
+	e.mu.Lock()
+	for _, r := range e.reqs {
+		if r.target == dead {
+			victims = append(victims, r)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range victims {
+		r.completeErr(at, err)
+	}
+	e.tgtMu.Lock()
+	e.tgtCond.Broadcast()
+	e.tgtMu.Unlock()
+	e.replOnRankDead(dead, at)
+	if q := e.evq.Load(); q != nil {
+		q.push(Event{Kind: EvFault, At: at, Rank: dead, Err: err})
+	}
+	if f := e.flight.Load(); f != nil {
+		f.Note(int64(at), "rank-death", dead, 0, 0, err)
+		f.AutoDump("rank-death", int64(at))
 	}
 }
 

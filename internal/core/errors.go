@@ -40,6 +40,17 @@ var (
 // classify transport failures without importing the transport.
 var ErrLinkFailed = portals.ErrLinkFailed
 
+// ErrRankFailed is the rank-death sentinel: the membership service
+// confirmed a target rank crashed (retry-budget exhaustion toward it was
+// corroborated by the simulation's RAS ground truth). It is deliberately
+// disjoint from ErrLinkFailed — errors.Is(err, ErrLinkFailed) stays false
+// for a dead rank — because the two demand different reactions: a failed
+// link degrades one path while the rank's data survives, whereas a dead
+// rank's exposures are gone until the rebuild protocol promotes its
+// buddy's replica onto a spare (DESIGN.md §14). The triggering link error
+// is folded into the message text, not the wrap chain.
+var ErrRankFailed = errors.New("rank failed: peer declared dead")
+
 // ErrApplyFault is the sticky sentinel for a target-side apply failure: a
 // shard worker panicked while depositing an operation. The engine survives
 // — the pool recovers the panic — but its memory can no longer be trusted,

@@ -66,9 +66,11 @@ const (
 	// (confirmed >= sent) — the moment Complete(rank) would return
 	// without waiting.
 	EvQuiescent
-	// EvFault reports a sticky failure: Err wraps ErrLinkFailed (Rank is
-	// the dead target) or ErrApplyFault (Rank is AllRanks; the local
-	// apply pipeline is poisoned).
+	// EvFault reports a sticky failure: Err wraps ErrRankFailed (Rank is
+	// the rank the membership service confirmed dead — published exactly
+	// once per death), ErrLinkFailed (Rank is the unreachable target,
+	// which is still alive), or ErrApplyFault (Rank is AllRanks; the
+	// local apply pipeline is poisoned).
 	EvFault
 )
 
@@ -333,7 +335,8 @@ func OnApplied(origin int, count int64) SelectCase {
 
 // OnConfirmed fires when the given target has confirmed application of at
 // least count of this rank's operations (the origin-side delivery
-// counter), or fails with EvFault when the link to the target dies.
+// counter), or fails with EvFault when the link to the target dies or
+// the target rank itself is declared dead (ErrRankFailed).
 func OnConfirmed(target int, count int64) SelectCase {
 	return SelectCase{kind: selConfirmed, rank: target, threshold: count}
 }
@@ -474,6 +477,9 @@ func (e *Engine) Select(comm *runtime.Comm, cases ...SelectCase) (int, Event, er
 			case e.applyErr != nil:
 				w.err, w.at, w.fired = e.applyErr, e.proc.Now(), true
 				close(w.ch)
+			case e.failedRanks[rc.world] != nil:
+				w.err, w.at, w.fired = e.failedRanks[rc.world], e.proc.Now(), true
+				close(w.ch)
 			case e.failedLinks[rc.world] != nil:
 				w.err, w.at, w.fired = e.failedLinks[rc.world], e.proc.Now(), true
 				close(w.ch)
@@ -561,7 +567,7 @@ func (e *Engine) tryCase(rc *resolvedCase) (Event, bool) {
 	case selConfirmed, selQuiescent:
 		e.cmplMu.Lock()
 		c, at := e.confirmed[rc.world], e.confirmedAt[rc.world]
-		aerr, lerr := e.applyErr, e.failedLinks[rc.world]
+		aerr, rerr, lerr := e.applyErr, e.failedRanks[rc.world], e.failedLinks[rc.world]
 		e.cmplMu.Unlock()
 		if c >= rc.threshold {
 			kind := EvConfirm
@@ -572,6 +578,9 @@ func (e *Engine) tryCase(rc *resolvedCase) (Event, bool) {
 		}
 		if aerr != nil {
 			return Event{Kind: EvFault, At: e.proc.Now(), Rank: rc.world, Err: aerr}, true
+		}
+		if rerr != nil {
+			return Event{Kind: EvFault, At: e.proc.Now(), Rank: rc.world, Err: rerr}, true
 		}
 		if lerr != nil {
 			return Event{Kind: EvFault, At: e.proc.Now(), Rank: rc.world, Err: lerr}, true

@@ -54,10 +54,23 @@ func (e *Engine) Health() telemetry.HealthReport {
 	if e.applyErr != nil {
 		h.Sticky = append(h.Sticky, e.applyErr.Error())
 	}
+	for _, err := range e.failedRanks {
+		h.Sticky = append(h.Sticky, err.Error())
+	}
 	for _, err := range e.failedLinks {
 		h.Sticky = append(h.Sticky, err.Error())
 	}
 	e.cmplMu.Unlock()
+
+	// Membership liveness: meaningful once the failure detector has run
+	// (a world without faults reports every rank ALIVE and spares SPARE).
+	if w := e.proc.World(); w != nil {
+		states := w.Members().States()
+		h.Liveness = make([]string, len(states))
+		for r, s := range states {
+			h.Liveness[r] = s.String()
+		}
+	}
 
 	nic := e.proc.NIC()
 	h.RetryBudget = nic.RetryBudget()

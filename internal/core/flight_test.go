@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"os"
@@ -109,4 +110,135 @@ func TestLinkFailurePostmortem(t *testing.T) {
 	if pm.Health == nil || len(pm.Health.Sticky) == 0 {
 		t.Fatalf("postmortem health misses the sticky error: %+v", pm.Health)
 	}
+}
+
+// TestRankDeathPostmortem pins the robustness PR's forensic criterion:
+// when a rank is crash-injected, the promoting buddy's auto-dumped
+// postmortem names the whole recovery — the dead rank, the buddy itself,
+// the spare the replicas were replayed onto, and the replayed version
+// range — so a single file reconstructs the death without the console.
+func TestRankDeathPostmortem(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		victim   = 1
+		promoter = 2 // the victim's buddy, (victim+1) mod 3
+		spare    = 3 // the lone spare's world rank
+	)
+	plan := &simnet.FaultPlan{
+		Seed:      99,
+		RankKills: []simnet.RankKill{{Rank: victim, At: rdKillAt}},
+	}
+	w := newWorld(t, runtime.Config{Ranks: 3, Spares: 1, Seed: 11, Faults: plan})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *runtime.Proc) { pmDeathRank(t, w, p, dir) })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("world: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("rank-death postmortem run wedged")
+	}
+
+	eng := Attached(w.Proc(promoter))
+	if eng == nil {
+		t.Fatal("promoter engine not attached")
+	}
+	files := eng.FlightRecorder().Dumps()
+	if len(files) != 1 {
+		t.Fatalf("promoter produced %d postmortems, want exactly 1 for the death", len(files))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("reading postmortem: %v", err)
+	}
+	var pm telemetry.Postmortem
+	if err := json.Unmarshal(raw, &pm); err != nil {
+		t.Fatalf("postmortem does not parse: %v", err)
+	}
+	if pm.Reason != "rank-death" || pm.Rank != promoter {
+		t.Fatalf("postmortem reason=%q rank=%d, want rank-death on rank %d", pm.Reason, pm.Rank, promoter)
+	}
+	rd := pm.RankDeath
+	if rd == nil {
+		t.Fatal("promoter postmortem carries no rank_death report")
+	}
+	if rd.Dead != victim || rd.Buddy != promoter || rd.Spare != spare {
+		t.Fatalf("rank_death names dead=%d buddy=%d spare=%d, want %d/%d/%d",
+			rd.Dead, rd.Buddy, rd.Spare, victim, promoter, spare)
+	}
+	if rd.Regions != 1 {
+		t.Fatalf("rank_death replayed %d regions, want 1", rd.Regions)
+	}
+	if rd.FromVersion != 1 || rd.ToVersion < 1 {
+		t.Fatalf("rank_death version range %d..%d, want 1..>=1", rd.FromVersion, rd.ToVersion)
+	}
+	var promote bool
+	for _, ev := range pm.Events {
+		if ev.Cat == "replica-promote" {
+			promote = true
+		}
+	}
+	if !promote {
+		t.Fatal("postmortem ring has no replica-promote event")
+	}
+}
+
+// pmDeathRank is one rank's workload for TestRankDeathPostmortem: the
+// victim and its buddy are pure targets, writer 0 hammers the victim
+// until the death surfaces, then converges one write on the successor.
+func pmDeathRank(t *testing.T, w *runtime.World, p *runtime.Proc, dir string) {
+	e := Attach(p, Options{})
+	e.EnableFlightRecorder(telemetry.FlightConfig{Dir: dir, Cap: 128})
+	if err := e.EnableReplication(); err != nil {
+		t.Errorf("enable replication: %v", err)
+		panic("postmortem: replication unavailable")
+	}
+	if p.IsSpare() {
+		p.Recv(0, rdTagFin)
+		return
+	}
+	comm := p.Comm()
+	tm, _ := e.ExposeNew(rdSlot)
+	if p.Rank() != 0 {
+		// Victim and buddy serve from the NIC agent; no rank-function
+		// work. The victim additionally gates the writer: its expose
+		// mirror must leave the NIC while the TX lane is idle — a writer
+		// flooding puts from t=0 backs the lane up until the mirror's
+		// departure lands past the kill and the buddy never gets a
+		// replica to promote. This plan has no drop faults, so the ready
+		// message's first copy is delivered deterministically.
+		if p.Rank() == 1 {
+			p.Send(0, rdTagReady, nil)
+		}
+		return
+	}
+	p.Recv(1, rdTagReady)
+	// Exposures are symmetric (one identical ExposeNew per compute rank),
+	// so the writer forms the victim's descriptor locally instead of
+	// racing the kill for a wire delivery (see rankdeath_test.go).
+	vtm := tm
+	vtm.Owner = 1
+	scratch := p.Alloc(rdSlot)
+	var failed error
+	for round := 0; failed == nil; round++ {
+		p.WriteLocal(scratch, 0, bytes.Repeat([]byte{byte(round + 1)}, rdSlot))
+		failed = rdPutComplete(e, comm, scratch, vtm, 1, 0)
+	}
+	if !errors.Is(failed, ErrRankFailed) {
+		t.Errorf("death surfaced as %v, want wrapped ErrRankFailed", failed)
+		panic("postmortem: wrong sentinel")
+	}
+	succ, err := w.Members().AwaitRebuilt(1)
+	if err != nil {
+		t.Errorf("await rebuild: %v", err)
+		panic("postmortem: rebuild unavailable")
+	}
+	if err := rdPutComplete(e, comm, scratch, vtm, succ, 0); err != nil {
+		t.Errorf("op to successor %d failed: %v", succ, err)
+		panic("postmortem: successor op failed")
+	}
+	p.Send(succ, rdTagFin, nil)
 }

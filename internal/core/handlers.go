@@ -185,6 +185,7 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 			} else {
 				e.notifyDeposit(m.Src, m.Hdr[hHandle], disp, datatype.ExtentOf(tcount, tdt))
 			}
+			deposited := err == nil
 			if c := e.ck(); c != nil {
 				kind := AccessPut
 				if accOp != AccNone && accOp != AccReplace {
@@ -197,7 +198,15 @@ func (e *Engine) handlePut(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			e.finishApply(m, attrs, atomic, end, e.applyCost(len(wire)))
+			cost := e.applyCost(len(wire))
+			fin := func(end vtime.Time) { e.finishApply(m, attrs, atomic, end, cost) }
+			if deposited {
+				// Completion bookkeeping is deferred until the buddy holds
+				// the mutated bytes (a pass-through when unreplicated).
+				e.replicate(m.Hdr[hHandle], exp, disp, datatype.ExtentOf(tcount, tdt), end, fin)
+			} else {
+				fin(end)
+			}
 		})
 	})
 }

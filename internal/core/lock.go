@@ -19,6 +19,9 @@ import (
 // acquireLock blocks until the target's process-level lock is granted to
 // this rank.
 func (e *Engine) acquireLock(world int) error {
+	if err := e.stickyFor(world); err != nil {
+		return fmt.Errorf("core: lock of rank %d: %w", world, err)
+	}
 	req := e.newRequest(world)
 	m := newMsg(world, kLockReq)
 	m.Hdr[hReq] = req.id

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	gort "runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpi3rma/internal/datatype"
+	"mpi3rma/internal/memsim"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// The rank-death chaos harness (DESIGN.md §14): four compute ranks plus
+// one spare, all replicated. Ranks 0, 1 and 3 write round-stamped
+// patterns into disjoint slots of every other compute rank's region;
+// rank 2 is a pure target. The kill plans blackhole rank 2 mid-run:
+// survivors learn of the death only through retry-budget exhaustion
+// (promoted to ErrRankFailed by the membership service), await the
+// buddy's rebuild onto the spare, re-point the unchanged descriptor at
+// the successor, and finish the remaining rounds there. The final bytes
+// of every region — the rebuilt one read back from the spare — must
+// equal the fault-free run's, byte for byte, under every plan of the
+// seeded fault matrix (seeds 1001-1003, see faultchaos_test.go).
+//
+// The victim's deliberate buddy topology exercises every recovery role
+// at once: rank 3 is the victim's buddy (promoter), rank 1 has the
+// victim as ITS buddy (orphan: deferred completions flushed, degraded,
+// then re-synced to the spare), and the spare resumes replicating to
+// the promoter after the rebuild.
+
+const (
+	rdCompute = 4
+	rdVictim  = 2
+	rdSlot    = 8
+	rdRounds  = 12
+	// rdKillAt lands after exposure and descriptor exchange (first
+	// microseconds) but well inside the write rounds.
+	rdKillAt = vtime.Time(15 * time.Microsecond)
+
+	rdTagDesc  = 8801
+	rdTagDone  = 8802
+	rdTagFin   = 8803
+	rdTagReady = 8804
+)
+
+// rdWriters are the compute ranks that issue operations.
+var rdWriters = []int{0, 1, 3}
+
+// rdSlotOf maps a writer to its slot index within every region.
+func rdSlotOf(writer int) int {
+	for i, w := range rdWriters {
+		if w == writer {
+			return i
+		}
+	}
+	panic("rankdeath: not a writer")
+}
+
+// rdKillPlans is the PR-4 fault matrix with a rank kill added to each
+// plan: the same seeds, drops, dups, corruption and delays, plus rank 2
+// crashing at rdKillAt and never restarting.
+func rdKillPlans() []struct {
+	name string
+	plan *simnet.FaultPlan
+} {
+	base := chaosPlans()
+	out := make([]struct {
+		name string
+		plan *simnet.FaultPlan
+	}, 0, len(base))
+	for _, tc := range base {
+		plan := *tc.plan
+		plan.RankKills = []simnet.RankKill{{Rank: rdVictim, At: rdKillAt}}
+		out = append(out, struct {
+			name string
+			plan *simnet.FaultPlan
+		}{tc.name, &plan})
+	}
+	return out
+}
+
+// rdPutComplete writes scratch's rdSlot bytes at disp of dst (served by
+// world rank serving) and completes toward it.
+func rdPutComplete(e *Engine, comm *runtime.Comm, scratch memsim.Region, dst TargetMem, serving, disp int) error {
+	dst.Owner = serving
+	if _, err := e.Put(scratch, rdSlot, datatype.Byte, dst, disp, rdSlot, datatype.Byte, serving, comm, AttrNone); err != nil {
+		return err
+	}
+	return e.Complete(comm, serving)
+}
+
+// runRankDeath executes the workload under plan (nil = fault-free) and
+// returns each compute region's final bytes indexed by original owner;
+// with killed set, the victim's region is read back from its successor.
+func runRankDeath(t *testing.T, plan *simnet.FaultPlan, killed bool) [][]byte {
+	t.Helper()
+	size := len(rdWriters) * rdSlot
+	finals := make([][]byte, rdCompute)
+	for i := range finals {
+		finals[i] = make([]byte, size)
+	}
+	var deaths atomic.Int32
+	w := newWorld(t, runtime.Config{Ranks: rdCompute, Spares: 1, Seed: 7, Faults: plan})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *runtime.Proc) { rdRank(t, w, p, finals, &deaths, killed) })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("world: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		buf := make([]byte, 1<<22)
+		buf = buf[:gort.Stack(buf, true)]
+		t.Logf("goroutines at wedge:\n%s", buf)
+		t.Fatal("rank-death run wedged: detection or rebuild never unblocked a waiter")
+	}
+	if killed {
+		if deaths.Load() == 0 {
+			t.Fatal("no writer observed ErrRankFailed; the kill landed outside the workload")
+		}
+		if w.Net().FaultsBlackholed.Value() == 0 {
+			t.Fatal("rank kill blackholed nothing")
+		}
+	}
+	return finals
+}
+
+// rdRank is one rank's workload (see the file comment for the roles).
+func rdRank(t *testing.T, w *runtime.World, p *runtime.Proc, finals [][]byte, deaths *atomic.Int32, killed bool) {
+	e := Attach(p, Options{})
+	if err := e.EnableReplication(); err != nil {
+		t.Errorf("enable replication: %v", err)
+		panic("rankdeath: replication unavailable")
+	}
+	me := p.Rank()
+	if p.IsSpare() {
+		// Armed and idle; after the rebuild its NIC serves the redirected
+		// traffic. Stays alive until writer 0 winds the run down.
+		p.Recv(0, rdTagFin)
+		return
+	}
+	comm := p.Comm()
+	size := len(rdWriters) * rdSlot
+	tm, region := e.ExposeNew(size)
+	if me == rdVictim {
+		// Pure target: applying (and replicating) happens on the NIC
+		// agent, which keeps serving after the rank function returns —
+		// until the kill blackholes the rank entirely. The victim sends
+		// no descriptor: a rank that dies before its descriptor lands
+		// would wedge receivers that have no failure signal to select
+		// on, making bootstrap — not the RMA protocol — the thing under
+		// test. Writers synthesize it below instead.
+		return
+	}
+	enc := tm.Encode()
+	for _, r := range rdWriters {
+		if r != me {
+			p.Send(r, rdTagDesc, enc)
+		}
+	}
+
+	// Descriptors are plain values an application would distribute at job
+	// launch; only the (immortal) writers exchange them over the wire.
+	// Every compute rank's first and only exposure yields the same handle,
+	// so the victim's descriptor is the writer's own with the owner
+	// re-pointed — the cross-check below pins that symmetry.
+	tms := map[int]TargetMem{me: tm}
+	for i := 0; i < len(rdWriters)-1; i++ {
+		enc, src := p.Recv(runtime.AnySource, rdTagDesc)
+		dtm, err := DecodeTargetMem(enc)
+		if err != nil {
+			t.Errorf("rank %d decode from %d: %v", me, src, err)
+			panic("rankdeath: no descriptor")
+		}
+		if dtm.Handle != tm.Handle || dtm.Size != tm.Size {
+			t.Errorf("rank %d: descriptor from %d is not symmetric (handle %d size %d, mine %d/%d)",
+				me, src, dtm.Handle, dtm.Size, tm.Handle, tm.Size)
+			panic("rankdeath: asymmetric exposure")
+		}
+		tms[src] = dtm
+	}
+	vtm := tm
+	vtm.Owner = rdVictim
+	tms[rdVictim] = vtm
+
+	// cur maps each original owner to the rank currently serving its
+	// region (the victim's successor after the rebuild). The victim is
+	// targeted first each round so some origin always has in-flight
+	// traffic toward it — the failure detector's food.
+	cur := make(map[int]int, len(tms))
+	for r := range tms {
+		cur[r] = r
+	}
+	targets := []int{rdVictim}
+	for _, r := range rdWriters {
+		if r != me {
+			targets = append(targets, r)
+		}
+	}
+	disp := rdSlotOf(me) * rdSlot
+	scratch := p.Alloc(rdSlot)
+	observed := false
+	for round := 0; round < rdRounds; round++ {
+		pattern := bytes.Repeat([]byte{byte(16*me + round)}, rdSlot)
+		p.WriteLocal(scratch, 0, pattern)
+		for _, tgt := range targets {
+			err := rdPutComplete(e, comm, scratch, tms[tgt], cur[tgt], disp)
+			if err == nil {
+				continue
+			}
+			if tgt != rdVictim || cur[tgt] != rdVictim || !killed {
+				t.Errorf("rank %d round %d: op to survivor %d failed: %v", me, round, cur[tgt], err)
+				panic("rankdeath: survivor op failed")
+			}
+			// Acceptance criterion: the death surfaces as a wrapped
+			// ErrRankFailed — never as the link-failure sentinel.
+			if !errors.Is(err, ErrRankFailed) {
+				t.Errorf("rank %d round %d: death surfaced as %v, want wrapped ErrRankFailed", me, round, err)
+				panic("rankdeath: wrong sentinel")
+			}
+			if errors.Is(err, ErrLinkFailed) {
+				t.Errorf("rank %d: rank death also claims ErrLinkFailed: %v", me, err)
+			}
+			if !observed {
+				observed = true
+				deaths.Add(1)
+			}
+			spare, rerr := w.Members().AwaitRebuilt(rdVictim)
+			if rerr != nil {
+				t.Errorf("rank %d: await rebuild: %v", me, rerr)
+				panic("rankdeath: rebuild unavailable")
+			}
+			cur[tgt] = spare
+			// Re-issue this round's slot write at the successor; the slot
+			// converges regardless of which rounds the replica already
+			// held (last completed version wins).
+			if err := rdPutComplete(e, comm, scratch, tms[tgt], spare, disp); err != nil {
+				t.Errorf("rank %d round %d: re-issued op to successor %d failed: %v", me, round, spare, err)
+				panic("rankdeath: successor op failed")
+			}
+		}
+	}
+
+	if me != 0 {
+		p.Send(0, rdTagDone, nil)
+		return
+	}
+
+	// Writer 0 drains the other writers, settles the victim's successor,
+	// reads back every region, and winds down the spare.
+	for range []int{1, 3} {
+		p.Recv(runtime.AnySource, rdTagDone)
+	}
+	if killed && cur[rdVictim] == rdVictim {
+		// Degenerate timing: every round toward the victim completed
+		// before the kill, so this writer never saw the death. One probe
+		// op against the black hole must surface ErrRankFailed in bounded
+		// time; then converge the slot on the successor.
+		pattern := bytes.Repeat([]byte{byte(16*me + rdRounds - 1)}, rdSlot)
+		p.WriteLocal(scratch, 0, pattern)
+		err := rdPutComplete(e, comm, scratch, tms[rdVictim], rdVictim, disp)
+		if err == nil || !errors.Is(err, ErrRankFailed) {
+			t.Errorf("probe toward dead rank returned %v, want wrapped ErrRankFailed", err)
+			panic("rankdeath: probe")
+		}
+		deaths.Add(1)
+		spare, rerr := w.Members().AwaitRebuilt(rdVictim)
+		if rerr != nil {
+			t.Errorf("await rebuild: %v", rerr)
+			panic("rankdeath: rebuild unavailable")
+		}
+		cur[rdVictim] = spare
+		if err := rdPutComplete(e, comm, scratch, tms[rdVictim], spare, disp); err != nil {
+			t.Errorf("re-issued op to successor %d failed: %v", spare, err)
+			panic("rankdeath: successor op failed")
+		}
+	}
+	landing := p.Alloc(size)
+	for owner := 0; owner < rdCompute; owner++ {
+		if owner == me {
+			copy(finals[owner], p.Mem().Snapshot(region.Offset, size))
+			continue
+		}
+		dst := tms[owner]
+		dst.Owner = cur[owner]
+		req, err := e.Get(landing, size, datatype.Byte, dst, 0, size, datatype.Byte, cur[owner], comm, AttrNone)
+		if err != nil {
+			t.Errorf("readback get from %d (serving %d): %v", owner, cur[owner], err)
+			panic("rankdeath: readback")
+		}
+		req.Wait()
+		if err := req.Err(); err != nil {
+			t.Errorf("readback from %d (serving %d): %v", owner, cur[owner], err)
+			panic("rankdeath: readback")
+		}
+		copy(finals[owner], p.Mem().Snapshot(landing.Offset, size))
+	}
+	p.Send(rdCompute, rdTagFin, nil) // the spare's world rank
+}
+
+// TestRankDeathChaosMatrix is the PR's acceptance test: under every
+// seeded kill plan (go test -run TestRankDeathChaosMatrix -race;
+// seeds 1001-1003 from chaosPlans), (a) the replicated regions converge
+// byte-exactly to the fault-free baseline after the rebuild, (b) ops to
+// surviving ranks complete without error throughout, and (c) origins
+// targeting the dead rank get a wrapped ErrRankFailed in bounded time.
+func TestRankDeathChaosMatrix(t *testing.T) {
+	baseline := runRankDeath(t, nil, false)
+	// Sanity: the fault-free run produced the analytically expected
+	// bytes — every written slot holds its writer's final-round pattern,
+	// a writer's own slot in its own region stays zero.
+	size := len(rdWriters) * rdSlot
+	for owner := 0; owner < rdCompute; owner++ {
+		want := make([]byte, size)
+		for _, wr := range rdWriters {
+			if wr == owner {
+				continue
+			}
+			copy(want[rdSlotOf(wr)*rdSlot:], bytes.Repeat([]byte{byte(16*wr + rdRounds - 1)}, rdSlot))
+		}
+		if !bytes.Equal(baseline[owner], want) {
+			t.Fatalf("baseline region %d = %x, want %x", owner, baseline[owner], want)
+		}
+	}
+	for _, tc := range rdKillPlans() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := runRankDeath(t, tc.plan, true)
+			for owner := 0; owner < rdCompute; owner++ {
+				if !bytes.Equal(got[owner], baseline[owner]) {
+					t.Errorf("region %d diverged from fault-free bytes after rank death:\n got %x\nwant %x", owner, got[owner], baseline[owner])
+				}
+			}
+		})
+	}
+}
+
+// TestRankDeathKillOnly runs the kill without any link faults: the
+// cleanest reproduction of detect → promote → rebuild → re-target, and
+// the one to start from when the matrix runs diverge.
+func TestRankDeathKillOnly(t *testing.T) {
+	baseline := runRankDeath(t, nil, false)
+	plan := &simnet.FaultPlan{
+		Seed:      4242,
+		RankKills: []simnet.RankKill{{Rank: rdVictim, At: rdKillAt}},
+	}
+	got := runRankDeath(t, plan, true)
+	for owner := 0; owner < rdCompute; owner++ {
+		if !bytes.Equal(got[owner], baseline[owner]) {
+			t.Errorf("region %d diverged from fault-free bytes after rank death:\n got %x\nwant %x", owner, got[owner], baseline[owner])
+		}
+	}
+}

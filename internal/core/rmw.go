@@ -45,6 +45,9 @@ func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank i
 	if tdisp < 0 || tdisp+8 > tm.Size {
 		return 0, fmt.Errorf("core: RMW at [%d,%d) exceeds target_mem of %d bytes: %w", tdisp, tdisp+8, tm.Size, ErrBounds)
 	}
+	if err := e.stickyFor(tm.Owner); err != nil {
+		return 0, fmt.Errorf("core: RMW: %w", err)
+	}
 	attrs = e.effectiveAttrs(comm, attrs) | AttrAtomic
 	target := tm.Owner
 	e.Progress()
@@ -150,16 +153,27 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end, e.applyCost(8))
-			reply := newMsg(m.Src, kRMWReply)
-			reply.Hdr[hReq] = m.Hdr[hReq]
-			reply.Hdr[hCount] = uint64(count)
-			if ok {
-				reply.Payload = append([]byte(nil), old[:]...)
-			} else {
-				e.proc.NIC().BadReq.Inc()
+			mutated := ok
+			fin := func(end vtime.Time) {
+				count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end, e.applyCost(8))
+				reply := newMsg(m.Src, kRMWReply)
+				reply.Hdr[hReq] = m.Hdr[hReq]
+				reply.Hdr[hCount] = uint64(count)
+				if ok {
+					reply.Payload = append([]byte(nil), old[:]...)
+				} else {
+					e.proc.NIC().BadReq.Inc()
+				}
+				e.sendReply(end, reply)
 			}
-			e.sendReply(end, reply)
+			if mutated {
+				// The old-value reply must not outrun the replica: an RMW
+				// whose origin saw the old value is durable at the buddy
+				// (pass-through when unreplicated).
+				e.replicate(m.Hdr[hHandle], exp, disp, 8, end, fin)
+			} else {
+				fin(end)
+			}
 		})
 	})
 }

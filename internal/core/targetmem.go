@@ -82,10 +82,13 @@ type exposure struct {
 // target_mem object"; it involves no other rank.
 func (e *Engine) Expose(region memsim.Region) TargetMem {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.tmemSeq++
 	h := e.tmemSeq
 	e.tmems[h] = &exposure{region: region}
+	e.mu.Unlock()
+	// Mirror the new exposure to the buddy (a no-op unless
+	// EnableReplication was called; see replication.go).
+	e.replOnExpose(h, region)
 	return TargetMem{
 		Owner:    e.proc.Rank(),
 		Handle:   h,

@@ -94,7 +94,16 @@ func (e *Engine) validateXfer(op OpType, accOp AccOp, origin memsim.Region, ocou
 	if !tm.Valid() {
 		return fmt.Errorf("core: invalid target_mem descriptor: %w", ErrBadHandle)
 	}
-	if w := comm.WorldRank(trank); w != tm.Owner {
+	// Spare ranks live outside the communicator: a descriptor re-targeted
+	// at a dead rank's successor (tm.Owner = spare) names it by world rank
+	// directly.
+	w := trank
+	if trank >= 0 && trank < comm.Size() {
+		w = comm.WorldRank(trank)
+	} else if wd := e.proc.World(); trank < 0 || wd == nil || trank >= wd.TotalRanks() {
+		return fmt.Errorf("core: target rank %d out of range: %w", trank, ErrBadHandle)
+	}
+	if w != tm.Owner {
 		return fmt.Errorf("core: target rank %d of comm resolves to world rank %d, but target_mem is owned by rank %d: %w", trank, w, tm.Owner, ErrBadHandle)
 	}
 	if ocount < 0 || tcount < 0 || tdisp < 0 {
@@ -149,6 +158,11 @@ func kindsOf(count int, t datatype.Type) []datatype.Kind {
 // xfer is the common issue path.
 func (e *Engine) xfer(op OpType, accOp AccOp, scale float64, origin memsim.Region, ocount int, odt datatype.Type, tm TargetMem, tdisp, tcount int, tdt datatype.Type, trank int, comm *runtime.Comm, attrs Attr) (*Request, error) {
 	if err := e.validateXfer(op, accOp, origin, ocount, odt, tm, tdisp, tcount, tdt, trank, comm); err != nil {
+		return nil, err
+	}
+	if err := e.stickyFor(tm.Owner); err != nil {
+		// Fast-fail toward a dead rank or failed link: issuing would only
+		// accumulate requests that the failure handler must then reap.
 		return nil, err
 	}
 	attrs = e.effectiveAttrs(comm, attrs)

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi3rma/internal/simnet"
+	"mpi3rma/internal/vtime"
+)
+
+// Membership is the world-global rank liveness view: the stand-in for the
+// RAS (reliability, availability, serviceability) daemon of a real
+// machine. Link-level failure detection (the relay's retry-budget
+// exhaustion) reports suspects here; Membership consults the simulation's
+// ground truth (simnet.Network.RankDeadAt — the moral equivalent of the
+// RAS daemon's out-of-band node-death notification) to discriminate a
+// dead rank from a merely broken link, transitions the rank's state
+// exactly once, and fans the confirmed death out to every subscribed
+// engine. It also tracks the spare pool and the dead→successor binding
+// the rebuild protocol establishes.
+//
+// All state is O(ranks) for the whole world — one byte of state per rank
+// plus the (dead, successor) bindings — matching foMPI's constant-size
+// recovery metadata goal (see DESIGN.md §14).
+type Membership struct {
+	net     *simnet.Network
+	compute int // ranks [0, compute) are compute ranks; the rest are spares
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	states    []RankState
+	deathAt   map[int]vtime.Time
+	successor map[int]int // dead rank -> spare rank serving its regions
+	subs      []func(dead int, at vtime.Time, cause error)
+}
+
+// RankState is one rank's liveness as seen by the membership service.
+type RankState uint8
+
+const (
+	// StateAlive ranks serve traffic normally (including a spare that has
+	// finished rebuilding a dead rank's regions).
+	StateAlive RankState = iota
+	// StateSuspect ranks have exhausted some origin's retry budget but
+	// are not confirmed dead: the failure is a link, not the rank.
+	StateSuspect
+	// StateDead ranks are confirmed crashed; their state transitions here
+	// exactly once and never leaves.
+	StateDead
+	// StateRebuilding spares are replaying a dead rank's replicated
+	// regions and not yet serving.
+	StateRebuilding
+	// StateSpare ranks idle in the spare pool, waiting for a death.
+	StateSpare
+)
+
+// String returns the console spelling of a rank state.
+func (s RankState) String() string {
+	switch s {
+	case StateAlive:
+		return "ALIVE"
+	case StateSuspect:
+		return "SUSPECT"
+	case StateDead:
+		return "DEAD"
+	case StateRebuilding:
+		return "REBUILDING"
+	case StateSpare:
+		return "SPARE"
+	}
+	return fmt.Sprintf("RankState(%d)", uint8(s))
+}
+
+func newMembership(net *simnet.Network, compute, total int) *Membership {
+	m := &Membership{
+		net:       net,
+		compute:   compute,
+		states:    make([]RankState, total),
+		deathAt:   make(map[int]vtime.Time),
+		successor: make(map[int]int),
+	}
+	for r := compute; r < total; r++ {
+		m.states[r] = StateSpare
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Compute returns the number of compute ranks (spares live above it).
+func (m *Membership) Compute() int { return m.compute }
+
+// State returns rank r's current liveness state.
+func (m *Membership) State(r int) RankState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r < 0 || r >= len(m.states) {
+		return StateAlive
+	}
+	return m.states[r]
+}
+
+// States returns a copy of every rank's state, indexed by world rank.
+func (m *Membership) States() []RankState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]RankState(nil), m.states...)
+}
+
+// Subscribe registers a callback invoked exactly once per confirmed rank
+// death, from the goroutine that confirmed it (never with m.mu held).
+// Engines use it to fail outstanding work toward the dead rank.
+func (m *Membership) Subscribe(fn func(dead int, at vtime.Time, cause error)) {
+	m.mu.Lock()
+	m.subs = append(m.subs, fn)
+	m.mu.Unlock()
+}
+
+// Suspect reports a rank some origin can no longer reach (its retry
+// budget ran out at virtual time at, with cause as the link error). It
+// returns true when the rank is confirmed dead — the first confirmation
+// transitions the state and notifies every subscriber; later ones are
+// no-ops that still return true. A suspect that is not dead (the link
+// failed, not the rank) is marked SUSPECT and false is returned so the
+// caller keeps its link-failure semantics.
+func (m *Membership) Suspect(r int, at vtime.Time, cause error) bool {
+	if r < 0 || r >= len(m.states) {
+		return false
+	}
+	if !m.net.RankDeadAt(r, at) {
+		m.mu.Lock()
+		if m.states[r] == StateAlive {
+			m.states[r] = StateSuspect
+		}
+		m.mu.Unlock()
+		return false
+	}
+	m.mu.Lock()
+	if m.states[r] == StateDead {
+		m.mu.Unlock()
+		return true
+	}
+	m.states[r] = StateDead
+	m.deathAt[r] = at
+	subs := make([]func(dead int, at vtime.Time, cause error), len(m.subs))
+	copy(subs, m.subs)
+	m.mu.Unlock()
+	for _, fn := range subs {
+		fn(r, at, cause)
+	}
+	return true
+}
+
+// AllocSpare binds the lowest free spare to dead, marking it REBUILDING,
+// and returns it. Idempotent: a second call for the same dead rank
+// returns the existing binding. ok is false when the pool is exhausted
+// (or the world was built with no spares).
+func (m *Membership) AllocSpare(dead int) (spare int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, bound := m.successor[dead]; bound {
+		return s, true
+	}
+	for r := m.compute; r < len(m.states); r++ {
+		if m.states[r] == StateSpare {
+			m.states[r] = StateRebuilding
+			m.successor[dead] = r
+			m.cond.Broadcast()
+			return r, true
+		}
+	}
+	return -1, false
+}
+
+// RebuildComplete marks the spare bound to dead as ALIVE and wakes every
+// AwaitRebuilt waiter: the spare now serves the dead rank's regions.
+func (m *Membership) RebuildComplete(dead, spare int) {
+	m.mu.Lock()
+	m.states[spare] = StateAlive
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Successor returns the spare serving dead's regions, if one is bound.
+func (m *Membership) Successor(dead int) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.successor[dead]
+	return s, ok
+}
+
+// DeathTime returns the virtual time dead was confirmed dead at.
+func (m *Membership) DeathTime(dead int) (vtime.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	at, ok := m.deathAt[dead]
+	return at, ok
+}
+
+// AwaitRebuilt blocks until a spare has fully rebuilt dead's regions and
+// returns it. It errors immediately when no rebuild can ever complete —
+// the world has no spare left to allocate and none is bound to dead.
+func (m *Membership) AwaitRebuilt(dead int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if s, ok := m.successor[dead]; ok && m.states[s] == StateAlive {
+			return s, nil
+		}
+		if _, ok := m.successor[dead]; !ok {
+			free := false
+			for r := m.compute; r < len(m.states); r++ {
+				if m.states[r] == StateSpare {
+					free = true
+					break
+				}
+			}
+			if !free {
+				return -1, fmt.Errorf("runtime: no spare available to rebuild rank %d", dead)
+			}
+		}
+		m.cond.Wait()
+	}
+}

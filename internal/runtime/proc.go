@@ -79,8 +79,13 @@ func newProc(w *World, rank int, nic *portals.NIC, mem *memsim.Memory, order dat
 // Rank returns this process's world rank.
 func (p *Proc) Rank() int { return p.rank }
 
-// Size returns the world size.
+// Size returns the world size (compute ranks; spares excluded).
 func (p *Proc) Size() int { return p.world.cfg.Ranks }
+
+// IsSpare reports whether this process is a standby spare — outside the
+// world communicator, idle until bound to a dead rank by the membership
+// service.
+func (p *Proc) IsSpare() bool { return p.rank >= p.world.cfg.Ranks }
 
 // World returns the enclosing world.
 func (p *Proc) World() *World { return p.world }
@@ -236,11 +241,14 @@ func (p *Proc) recvRaw(commID uint64, worldSrc, tag int) ([]byte, int) {
 }
 
 // Send ships data to world rank dst under tag on the world communicator.
-func (p *Proc) Send(dst, tag int, data []byte) { p.self.Send(dst, tag, data) }
+// Unlike Comm.Send it is addressed by world rank directly, so it also
+// reaches spare ranks (which live outside the world communicator).
+func (p *Proc) Send(dst, tag int, data []byte) { p.sendRaw(p.self.id, dst, tag, data) }
 
 // Recv receives a message from world rank src (or AnySource) under tag (or
-// AnyTag) on the world communicator, returning the payload and sender.
-func (p *Proc) Recv(src, tag int) ([]byte, int) { return p.self.Recv(src, tag) }
+// AnyTag) on the world communicator, returning the payload and the
+// sender's world rank. Like Send it accepts spare ranks.
+func (p *Proc) Recv(src, tag int) ([]byte, int) { return p.recvRaw(p.self.id, src, tag) }
 
 // Barrier synchronizes all world ranks.
 func (p *Proc) Barrier() { p.self.Barrier() }

@@ -28,8 +28,13 @@ const DefaultMemSize = 16 << 20
 
 // Config configures a World.
 type Config struct {
-	// Ranks is the number of processes.
+	// Ranks is the number of compute processes.
 	Ranks int
+	// Spares is the number of extra standby processes kept outside the
+	// world communicator. A spare idles until the membership service
+	// binds it to a dead rank; the rebuild protocol then replays the
+	// dead rank's replicated regions onto it (DESIGN.md §14).
+	Spares int
 	// Ordered selects whether the network preserves per-pair order
 	// (default false in Go zero-value terms, so NewWorld flips the
 	// default: pass UnorderedNet to get an unordered network).
@@ -67,9 +72,10 @@ type Config struct {
 
 // World is a set of ranks joined by a simulated network.
 type World struct {
-	cfg   Config
-	net   *simnet.Network
-	procs []*Proc
+	cfg     Config
+	net     *simnet.Network
+	procs   []*Proc
+	members *Membership
 }
 
 // NewWorld builds the network, memories, NICs and rank structures.
@@ -80,8 +86,9 @@ func NewWorld(cfg Config) *World {
 	if cfg.MemSize == 0 {
 		cfg.MemSize = DefaultMemSize
 	}
+	total := cfg.Ranks + cfg.Spares
 	net := simnet.New(simnet.Config{
-		Ranks:         cfg.Ranks,
+		Ranks:         total,
 		Ordered:       !cfg.UnorderedNet,
 		ReorderWindow: cfg.ReorderWindow,
 		Seed:          cfg.Seed,
@@ -92,8 +99,9 @@ func NewWorld(cfg Config) *World {
 		net.SetFaults(cfg.Faults)
 	}
 	w := &World{cfg: cfg, net: net}
-	w.procs = make([]*Proc, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
+	w.members = newMembership(net, cfg.Ranks, total)
+	w.procs = make([]*Proc, total)
+	for r := 0; r < total; r++ {
 		coh := memsim.Coherent
 		if cfg.Coherence != nil {
 			coh = cfg.Coherence(r)
@@ -122,21 +130,28 @@ func NewWorld(cfg Config) *World {
 // Net returns the underlying network (for counters in tests and benches).
 func (w *World) Net() *simnet.Network { return w.net }
 
-// Size returns the number of ranks.
+// Members returns the world's rank-liveness membership service.
+func (w *World) Members() *Membership { return w.members }
+
+// Size returns the number of compute ranks (spares excluded).
 func (w *World) Size() int { return w.cfg.Ranks }
+
+// TotalRanks returns the number of processes including spares.
+func (w *World) TotalRanks() int { return len(w.procs) }
 
 // Proc returns rank r's process structure. Intended for test setup;
 // experiment code receives its own *Proc via Run.
 func (w *World) Proc(r int) *Proc { return w.procs[r] }
 
-// Run executes fn once per rank, each on its own goroutine, and waits for
-// all of them. A panic in any rank is captured and returned immediately as
+// Run executes fn once per rank (spares included — branch on
+// Proc.IsSpare for spare-specific behaviour), each on its own goroutine,
+// and waits for all of them. A panic in any rank is captured and returned immediately as
 // an error naming the rank; the surviving rank goroutines are then leaked
 // rather than deadlocking the caller (Run is intended for tests and
 // benches, where the failure aborts the process anyway).
 func (w *World) Run(fn func(p *Proc)) error {
 	var wg sync.WaitGroup
-	errCh := make(chan error, w.cfg.Ranks)
+	errCh := make(chan error, len(w.procs))
 	for _, p := range w.procs {
 		wg.Add(1)
 		go func(p *Proc) {

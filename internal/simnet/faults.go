@@ -63,6 +63,23 @@ func (p Partition) covers(src, dst int, at vtime.Time) bool {
 	return at >= p.From && (p.Until == 0 || at < p.Until)
 }
 
+// RankKill schedules a whole-rank crash: from At on, every message the
+// rank sends or would receive is silently blackholed — survivors learn of
+// the death only through timeouts and retry-budget exhaustion, exactly as
+// on a real cluster where the node stops answering. RestartAt 0 means the
+// rank never comes back; a non-zero RestartAt models a kill/restart
+// schedule (the rank's traffic flows again from RestartAt on, though any
+// protocol state it lost stays lost — recovery is the layers' problem).
+type RankKill struct {
+	Rank          int
+	At, RestartAt vtime.Time
+}
+
+// dead reports whether the kill covers virtual time at.
+func (k RankKill) dead(at vtime.Time) bool {
+	return at >= k.At && (k.RestartAt == 0 || at < k.RestartAt)
+}
+
 // Burst overrides one directed link's fault rates for a window of virtual
 // time (e.g. "drop everything from rank 1 to rank 0 for the first
 // 200µs"). Until 0 means forever.
@@ -94,6 +111,28 @@ type FaultPlan struct {
 	Partitions []Partition
 	// Bursts override a link's rates for windows of virtual time.
 	Bursts []Burst
+	// RankKills schedules whole-rank crashes (and optional restarts).
+	RankKills []RankKill
+}
+
+// rankDead reports whether the plan declares rank dead at virtual time at.
+func (p *FaultPlan) rankDead(rank int, at vtime.Time) bool {
+	for i := range p.RankKills {
+		if p.RankKills[i].Rank == rank && p.RankKills[i].dead(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// RankDeadAt reports whether the installed fault plan declares rank dead
+// at virtual time at. This is the simulation's ground truth — the
+// stand-in for a RAS daemon's out-of-band node-death notification — and
+// is what lets failure detection above distinguish a dead rank from a
+// merely broken link (see DESIGN.md §14 for the determinism caveat).
+func (n *Network) RankDeadAt(rank int, at vtime.Time) bool {
+	p := n.faults.Load()
+	return p != nil && p.rankDead(rank, at)
 }
 
 // linkFaults resolves the effective rates for one message.

@@ -178,6 +178,7 @@ type Network struct {
 	FaultsDuplicated stats.Counter
 	FaultsDelayed    stats.Counter
 	FaultsCorrupted  stats.Counter
+	FaultsBlackholed stats.Counter // messages to or from a killed rank
 
 	// Reliable-delivery counters, incremented by the portals relay (they
 	// live here because, like Msgs/Bytes, they describe world-global wire
@@ -385,6 +386,14 @@ func (ep *Endpoint) transmit(m *Message) vtime.Time {
 
 	var dup *Message
 	if plan := ep.net.faults.Load(); plan != nil {
+		// A killed rank blackholes all traffic: messages it sends after the
+		// kill vanish, and messages that would arrive while it is dead
+		// vanish too. The sender still observes the pre-fault arrival time —
+		// death is visible only through timeouts, never synchronously.
+		if plan.rankDead(m.Src, m.SentAt) || plan.rankDead(m.Dst, m.ArriveAt) {
+			ep.net.FaultsBlackholed.Inc()
+			return arrive
+		}
 		m, dup = ep.net.injectFaults(plan, m)
 		if m == nil {
 			return arrive // dropped: the sender never learns

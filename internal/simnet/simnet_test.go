@@ -341,3 +341,60 @@ func TestTryRecvAndQueue(t *testing.T) {
 		}
 	}
 }
+
+func TestRankKillBlackholesBothDirections(t *testing.T) {
+	n := New(Config{Ranks: 3, Ordered: true})
+	defer n.Close()
+	n.SetFaults(&FaultPlan{RankKills: []RankKill{{Rank: 1, At: 1_000_000}}})
+
+	// Before the kill: traffic to and from rank 1 flows.
+	n.Endpoint(0).Send(0, &Message{Dst: 1, Kind: 7})
+	if m, ok := n.Endpoint(1).Recv(); !ok || m.Kind != 7 {
+		t.Fatalf("pre-kill delivery failed")
+	}
+	// After the kill: sends from the dead rank vanish, sends to it vanish,
+	// and the senders still observe normal (pre-fault) arrival times.
+	if at, err := n.Endpoint(1).Send(2_000_000, &Message{Dst: 0, Kind: 8}); err != nil || at == 0 {
+		t.Fatalf("dead rank's send must not error synchronously: at=%d err=%v", at, err)
+	}
+	if at, err := n.Endpoint(0).Send(2_000_000, &Message{Dst: 1, Kind: 9}); err != nil || at == 0 {
+		t.Fatalf("send to dead rank must not error synchronously: at=%d err=%v", at, err)
+	}
+	// Traffic between survivors is unaffected.
+	n.Endpoint(0).Send(2_000_000, &Message{Dst: 2, Kind: 10})
+	if m, ok := n.Endpoint(2).Recv(); !ok || m.Kind != 10 {
+		t.Fatalf("survivor-to-survivor delivery broken")
+	}
+	if got := n.FaultsBlackholed.Value(); got != 2 {
+		t.Fatalf("FaultsBlackholed = %d, want 2", got)
+	}
+	select {
+	case m := <-dstIn(n.Endpoint(0)):
+		t.Fatalf("blackholed message delivered anyway: kind %d", m.Kind)
+	default:
+	}
+	if !n.RankDeadAt(1, 2_000_000) || n.RankDeadAt(1, 0) || n.RankDeadAt(0, 2_000_000) {
+		t.Fatalf("RankDeadAt ground truth wrong")
+	}
+}
+
+func TestRankKillRestartWindow(t *testing.T) {
+	n := New(Config{Ranks: 2, Ordered: true})
+	defer n.Close()
+	n.SetFaults(&FaultPlan{RankKills: []RankKill{{Rank: 1, At: 100, RestartAt: 1_000_000}}})
+
+	// Arrival inside [At, RestartAt) is blackholed even if sent before At:
+	// the frame lands on a dead NIC.
+	n.Endpoint(0).Send(0, &Message{Dst: 1, Kind: 1})
+	// After the restart the rank's traffic flows again.
+	n.Endpoint(0).Send(2_000_000, &Message{Dst: 1, Kind: 2})
+	if m, ok := n.Endpoint(1).Recv(); !ok || m.Kind != 2 {
+		t.Fatalf("post-restart delivery failed (got kind %d)", m.Kind)
+	}
+	if got := n.FaultsBlackholed.Value(); got != 1 {
+		t.Fatalf("FaultsBlackholed = %d, want 1", got)
+	}
+	if n.RankDeadAt(1, 2_000_000) {
+		t.Fatalf("rank should be alive after RestartAt")
+	}
+}

@@ -33,8 +33,10 @@ type FlightConfig struct {
 const DefaultFlightCap = 256
 
 // FlightEvent is one recorded moment. Cat values are static strings
-// ("delivery", "confirm", "retransmit", "link-failed", "apply-fault",
-// "request-done") so recording never formats or allocates.
+// ("delivery", "confirm", "retransmit", "link-failed", "rank-death",
+// "replica-promote", "rebuild-frame", "rebuild-done", "buddy-lost",
+// "buddy-rebound", "no-spare", "apply-fault", "request-done") so
+// recording never formats or allocates.
 type FlightEvent struct {
 	At    int64  `json:"at"`
 	Cat   string `json:"cat"`
@@ -72,13 +74,41 @@ type QueueHealth struct {
 	Dropped   int64 `json:"dropped"`
 }
 
+// RankDeathInfo names one confirmed rank death and the recovery that
+// followed: who died, which buddy held the replicas, which spare they
+// were replayed onto, and the version range of the replay. Recorded by
+// the promoting buddy before its postmortem dump so the dump file names
+// the whole promotion, not just the failure.
+type RankDeathInfo struct {
+	// Dead is the rank the membership service confirmed dead.
+	Dead int `json:"dead"`
+	// Buddy is the rank that held the dead rank's replicas and promoted
+	// them (the rank writing this report).
+	Buddy int `json:"buddy"`
+	// Spare is the standby rank the replicas were replayed onto (-1 when
+	// the spare pool was exhausted and no rebuild could start).
+	Spare int `json:"spare"`
+	// Regions is the number of replicated regions replayed.
+	Regions int `json:"regions"`
+	// FromVersion..ToVersion is the replayed version range: replicas
+	// start at version 1 (the initial expose snapshot) and ToVersion is
+	// the highest replicated version across the replayed regions.
+	FromVersion uint64 `json:"from_version"`
+	ToVersion   uint64 `json:"to_version"`
+}
+
 // HealthReport is one rank's point-in-time health: what rmatop renders
 // and what postmortems embed. Producers fill only what they have; nil
 // slices simply mean "subsystem not enabled".
 type HealthReport struct {
 	Rank  int   `json:"rank"`
 	VTime int64 `json:"vtime"`
-	// Sticky lists sticky engine errors (link failures, apply faults).
+	// Liveness is this rank's view of every rank's membership state
+	// ("ALIVE", "SUSPECT", "DEAD", "REBUILDING", "SPARE"), indexed by
+	// world rank. Empty outside fault-injected worlds.
+	Liveness []string `json:"liveness,omitempty"`
+	// Sticky lists sticky engine errors (rank deaths, link failures,
+	// apply faults).
 	Sticky []string `json:"sticky,omitempty"`
 	// RetryBudget is the per-frame retry budget links are allowed
 	// before being declared failed (0 when reliability is off).
@@ -99,8 +129,12 @@ type Postmortem struct {
 	At     int64  `json:"at"`
 	// Recorded is the lifetime number of notes; len(Events) is bounded
 	// by the ring capacity, so Recorded-len(Events) notes were evicted.
-	Recorded     uint64           `json:"recorded"`
-	Events       []FlightEvent    `json:"events"`
+	Recorded uint64        `json:"recorded"`
+	Events   []FlightEvent `json:"events"`
+	// RankDeath, when set, names the death and replica promotion this
+	// dump covers: the dead rank, the buddy that promoted, the spare
+	// rebuilt onto, and the replayed version range.
+	RankDeath    *RankDeathInfo   `json:"rank_death,omitempty"`
 	Health       *HealthReport    `json:"health,omitempty"`
 	MetricDeltas map[string]int64 `json:"metric_deltas,omitempty"`
 }
@@ -121,6 +155,7 @@ type FlightRecorder struct {
 	base   Snapshot
 	dumps  []string
 	auto   bool
+	death  *RankDeathInfo
 }
 
 // NewFlightRecorder builds a recorder with its ring preallocated.
@@ -160,6 +195,34 @@ func (f *FlightRecorder) SetBaseline(reg *Registry) {
 	f.reg = reg
 	f.base = snap
 	f.mu.Unlock()
+}
+
+// SetRankDeath records the death-and-promotion report embedded in every
+// later postmortem. The first report wins (later deaths on the same rank
+// are cascades of the first, like AutoDump's policy).
+func (f *FlightRecorder) SetRankDeath(info RankDeathInfo) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.death == nil {
+		f.death = &info
+	}
+	f.mu.Unlock()
+}
+
+// RankDeath returns the recorded death-and-promotion report, if any.
+func (f *FlightRecorder) RankDeath() *RankDeathInfo {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.death == nil {
+		return nil
+	}
+	d := *f.death
+	return &d
 }
 
 // Note records one event. Nil receiver and full rings are both fine:
@@ -212,6 +275,10 @@ func (f *FlightRecorder) Postmortem(reason string, at int64) *Postmortem {
 		At:       at,
 		Recorded: f.total,
 		Events:   events,
+	}
+	if f.death != nil {
+		d := *f.death
+		pm.RankDeath = &d
 	}
 	health := f.health
 	reg, base := f.reg, f.base

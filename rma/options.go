@@ -30,6 +30,7 @@ type config struct {
 	retry     *portals.RetryPolicy
 	flight    bool
 	flightDir string
+	replicate bool
 }
 
 func buildConfig(opts []Option) config {
@@ -201,6 +202,23 @@ func WithFaults(plan *FaultPlan) Option {
 // fault plan installed elsewhere) for it to matter.
 func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *config) { c.retry = &p }
+}
+
+// WithReplication enables buddy replication at Open (session-only):
+// every region this rank exposes afterwards is mirrored in-band to its
+// buddy rank ((rank+1) mod worldsize), and each mutating operation
+// completes only once the buddy has acknowledged its bytes — so a
+// returned Complete means the update survives this rank's death. When
+// the failure detector declares a rank dead (see WithFaults rank-kill
+// schedules), the buddy promotes its replicas onto a spare rank
+// (runtime.Config.Spares) and the world resumes; origins re-fetch the
+// spare's descriptors and carry on. Metadata cost is O(1) per rank: one
+// buddy binding and a version counter per exposed region. Pair it with
+// WithFaults — without a fault plan no rank ever dies and the option
+// only adds mirroring traffic. SPMD ranks (including spares) should all
+// pass it.
+func WithReplication() Option {
+	return func(c *config) { c.replicate = true }
 }
 
 // WithChecker enables the RMA semantic checker at Open: every

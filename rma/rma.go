@@ -69,6 +69,7 @@ type (
 	LinkKey     = simnet.LinkKey
 	Partition   = simnet.Partition
 	Burst       = simnet.Burst
+	RankKill    = simnet.RankKill
 	RetryPolicy = portals.RetryPolicy
 )
 
@@ -117,6 +118,12 @@ var (
 	// worker caught it): the session survives but its requests and waits
 	// fail with it, and Session.Err() reports it sticky.
 	ErrApplyFault = core.ErrApplyFault
+	// ErrRankFailed marks a peer declared dead by the failure detector
+	// (rank-kill fault injection): requests and Complete* calls addressing
+	// the dead rank fail with it, ops to live peers keep completing, and
+	// Session.Err() reports it sticky. Disjoint from ErrLinkFailed — a
+	// flaky link is not a dead peer.
+	ErrRankFailed = core.ErrRankFailed
 )
 
 // AllRanks, passed as the target of Complete or Order, covers every rank.
@@ -171,6 +178,14 @@ func Open(p *runtime.Proc, opts ...Option) *Session {
 	if cfg.faults != nil {
 		p.NIC().Endpoint().Network().SetFaults(cfg.faults)
 	}
+	if cfg.replicate {
+		// Session-only, and SPMD like the rest: every rank (spares
+		// included) arms replication before exposing protected regions.
+		// A world too small to hold a buddy is a programming error.
+		if err := s.eng.EnableReplication(); err != nil {
+			panic(err)
+		}
+	}
 	if cfg.faults != nil || cfg.retry != nil {
 		var pol RetryPolicy
 		if cfg.retry != nil {
@@ -196,6 +211,22 @@ func (s *Session) Err() error { return s.eng.Err() }
 
 // Proc returns the owning simulated process.
 func (s *Session) Proc() *runtime.Proc { return s.proc }
+
+// Buddy returns the rank currently mirroring this rank's exposures
+// (ok=false when WithReplication is off or the buddy is down awaiting
+// a rebuild).
+func (s *Session) Buddy() (int, bool) { return s.eng.Buddy() }
+
+// AwaitRebuilt blocks until a spare rank has fully rebuilt the dead
+// rank's replicated regions and returns the spare's world rank — the
+// re-targeting hook an origin uses after a Put or Complete fails with
+// ErrRankFailed. Descriptors move verbatim: the spare re-exposes every
+// region at its original handle, so tm2 := tm; tm2.Owner = spare
+// addresses the rebuilt bytes. It errors when no rebuild can ever
+// complete (the world has no spare left).
+func (s *Session) AwaitRebuilt(dead int) (int, error) {
+	return s.proc.World().Members().AwaitRebuilt(dead)
+}
 
 // Engine exposes the underlying core engine — the escape hatch for
 // facilities the façade does not wrap (active messages, tracing, derived
