@@ -126,7 +126,7 @@ func main() {
 // loop so the console stays responsive and the simulation does not spin
 // a core per rank.
 func workload(p *runtime.Proc, shards int, diagDir string, kill int, stop *atomic.Bool) {
-	opts := []rma.Option{
+	opts := []rma.SessionOption{
 		rma.WithMetrics(),
 		rma.WithTracing(4096),
 		rma.WithEvents(256),

@@ -140,9 +140,9 @@ func runStencil(pipelined bool) result {
 		// flight and waits on delivery *counts*, so its pushes carry the
 		// Ordering attribute: count k means the first k pushes applied,
 		// not any k of them. Blocking never overlaps two, so it skips it.
-		var pushOpts []rma.Option
+		var pushOpts []rma.OpOption
 		if pipelined {
-			pushOpts = []rma.Option{rma.WithOrdering()}
+			pushOpts = []rma.OpOption{rma.WithOrdering()}
 		}
 		push := func(v float64, neighbor, ghostIdx int) *rma.Request {
 			var b [8]byte

@@ -221,5 +221,6 @@ func All() []*Analyzer {
 		AttrMisuseAnalyzer,
 		BoundsCheckAnalyzer,
 		DeprecatedAnalyzer,
+		DHTRawAnalyzer,
 	}
 }

@@ -52,6 +52,13 @@ func TestDeprecated(t *testing.T) {
 	RunGolden(t, DeprecatedAnalyzer, "mpi3rma/internal/analysis/testdata/src/deprecated")
 }
 
+// TestDHTRaw pins the service-layer ownership rule: descriptors obtained
+// from dht.Map.Stripes() or queue.Queue.Mem() may be read raw but never
+// mutated raw — the protocols own their lock and sequence words.
+func TestDHTRaw(t *testing.T) {
+	RunGolden(t, DHTRawAnalyzer, "mpi3rma/internal/analysis/testdata/src/dhtraw")
+}
+
 func TestLostRequestField(t *testing.T) {
 	RunGolden(t, LostRequestAnalyzer, "mpi3rma/internal/analysis/testdata/src/lostrequestfield")
 }
@@ -104,7 +111,7 @@ func TestEpochOrderCrossPin(t *testing.T) {
 // TestLostRequestCrossPin: without summaries the helper-producer finding
 // disappears (fire's returned request is invisible) and the
 // helper-completes case regresses into a false positive (the discarded
-// Put in completesViaHelper is flagged because finish's CompleteAll is
+// Put in completesViaHelper is flagged because finish's Complete is
 // invisible too).
 func TestLostRequestCrossPin(t *testing.T) {
 	diags := diagsWithoutInterproc(t, LostRequestAnalyzer, "mpi3rma/internal/analysis/testdata/src/lostrequestx")

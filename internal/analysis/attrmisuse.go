@@ -2,41 +2,27 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // AttrMisuseAnalyzer reports contradictory or no-op attribute/option
 // combinations on rma facade calls — options that type-check fine but are
 // silently ignored or redundant at runtime, usually a sign the author
-// expected a semantic the call does not have.
+// expected a semantic the call does not have. The session-only-option and
+// WithTargetLayout-at-Open rules that used to live here are compile
+// errors since the SessionOption/OpOption split; what remains of them is
+// a thin compatibility rule flagging declarations of the deprecated
+// rma.Option alias.
 var AttrMisuseAnalyzer = &Analyzer{
 	Name: "attrmisuse",
-	Doc: "finds rma option misuse: session-only options passed to transfer\n" +
-		"calls (silently ignored), duplicate options, WithNotify on PutNotify,\n" +
-		"attribute no-ops on RMW and Get calls, options WithStrictDebug already\n" +
-		"implies, WithTargetLayout at Open, and WithRetryPolicy or\n" +
+	Doc: "finds rma option misuse: duplicate options, WithNotify on\n" +
+		"PutNotify, attribute no-ops on RMW and Get calls, options\n" +
+		"WithStrictDebug already implies, WithRetryPolicy or\n" +
 		"WithReplication in a package that never installs a fault plan (the\n" +
-		"relay never retransmits and no rank can die on the lossless default\n" +
-		"wire).",
+		"relay never retransmits and no rank can die on the lossless\n" +
+		"default wire), and uses of the deprecated rma.Option type alias\n" +
+		"(migrate to SessionOption, OpOption, or AttrOption).",
 	Run: runAttrMisuse,
-}
-
-// sessionOnly options configure the engine at Open; buildConfig reads them
-// into fields the transfer paths never look at.
-var sessionOnly = map[string]string{
-	"WithBatch":           "operation batching is configured at Open",
-	"WithBatchBytes":      "batch payload bounds are configured at Open",
-	"WithAtomicity":       "the atomicity mechanism is chosen at Open",
-	"WithProbeCompletion": "probe-forced completion is chosen at Open",
-	"WithMetrics":         "telemetry is enabled at Open",
-	"WithTracing":         "tracing is enabled at Open",
-	"WithEvents":          "the completion-event queue is installed at Open",
-	"WithChecker":         "the semantic checker is enabled at Open",
-	"WithFaults":          "fault injection is installed at Open",
-	"WithRetryPolicy":     "the reliable-delivery relay is configured at Open",
-	"WithReplication":     "buddy replication is armed at Open, before regions are exposed",
-	"WithApplyShards":     "the sharded apply engine is configured at Open",
-	"WithApplyWorkers":    "the apply worker pool is sized at Open",
-	"WithFlightRecorder":  "the flight recorder is installed at Open",
 }
 
 // optionTakers maps facade calls that accept options to their kind.
@@ -55,19 +41,35 @@ func runAttrMisuse(pass *Pass) {
 	faults := packageInstallsFaults(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkDeprecatedOptionType(pass, n)
+			case *ast.CallExpr:
+				fn := callee(pass.TypesInfo, n)
+				kind, ok := optionTakers[funcKey(fn)]
+				if !ok {
+					return true
+				}
+				checkOptions(pass, kind, fn.Name(), n, faults)
 			}
-			fn := callee(pass.TypesInfo, call)
-			kind, ok := optionTakers[funcKey(fn)]
-			if !ok {
-				return true
-			}
-			checkOptions(pass, kind, fn.Name(), call, faults)
 			return true
 		})
 	}
+}
+
+// checkDeprecatedOptionType is the compatibility remnant of the retired
+// session-only-option rules: the misuse itself no longer type-checks, but
+// code still naming the deprecated rma.Option alias compiles one more
+// release and should migrate to the typed taxonomy.
+func checkDeprecatedOptionType(pass *Pass, id *ast.Ident) {
+	tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+	if !ok || tn.Name() != "Option" {
+		return
+	}
+	if pkg := tn.Pkg(); pkg == nil || pkg.Path() != rmaPath {
+		return
+	}
+	pass.Reportf(id.Pos(), "rma.Option is a deprecated alias kept one release: declare rma.SessionOption (Open), rma.OpOption (transfers), or rma.AttrOption (attributes usable in both positions)")
 }
 
 // packageInstallsFaults pre-scans the package for any way a fault plan
@@ -120,18 +122,8 @@ func checkOptions(pass *Pass, kind, callName string, call *ast.CallExpr, faults 
 		}
 		seen[name] = true
 
-		if kind != "open" {
-			if why, ok := sessionOnly[name]; ok {
-				pass.Reportf(opt.Pos(), "%s is ignored on %s: %s (pass it to rma.Open)", name, callName, why)
-				continue
-			}
-		}
-
 		switch kind {
 		case "open":
-			if name == "WithTargetLayout" {
-				pass.Reportf(opt.Pos(), "WithTargetLayout is meaningless at Open: the target layout belongs to an individual transfer call")
-			}
 			if name == "WithRetryPolicy" && !faults {
 				pass.Reportf(opt.Pos(), "WithRetryPolicy without a fault plan anywhere in this package: the relay never retransmits on the lossless default wire (pair it with WithFaults or install a FaultPlan)")
 			}

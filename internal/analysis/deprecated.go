@@ -5,24 +5,17 @@ import (
 	"go/types"
 )
 
-// DeprecatedAnalyzer reports calls to the facade's deprecated wrappers —
-// kept only so old callers keep compiling — and misuse of the
-// event-driven completion surface that replaces them.
+// DeprecatedAnalyzer reports misuse of the event-driven completion
+// surface. The old all-ranks wrapper checks lived here until those
+// wrappers were deleted outright (PR 10) — a call is a compile error
+// now, so the analyzer no longer has to flag it.
 var DeprecatedAnalyzer = &Analyzer{
 	Name: "deprecated",
-	Doc: "finds calls to deprecated rma wrappers (CompleteAll, OrderAll,\n" +
-		"WithProbeCompletion) with their modern replacements, Select calls\n" +
-		"with zero cases (always ErrBadHandle), and OnDone registered twice\n" +
-		"on the same request within one function (both callbacks run; a\n" +
-		"second registration is usually a refactoring leftover).",
+	Doc: "finds Select calls with zero cases (always ErrBadHandle), and\n" +
+		"OnDone registered twice on the same request within one function\n" +
+		"(both callbacks run; a second registration is usually a\n" +
+		"refactoring leftover).",
 	Run: runDeprecated,
-}
-
-// deprecatedCalls maps the compatibility wrappers to their replacements.
-var deprecatedCalls = map[string]string{
-	rmaPath + ".Session.CompleteAll": "CompleteAll is deprecated: call Complete() — variadic, no arguments covers every rank",
-	rmaPath + ".Session.OrderAll":    "OrderAll is deprecated: call Order() — variadic, no arguments covers every rank",
-	rmaPath + ".WithProbeCompletion": "WithProbeCompletion is deprecated: use the Request surface (Await/Done/OnDone) for per-operation completion; keep it only for probe-vs-counter A/B measurements",
 }
 
 // selectCalls are the any-of multiplexers that reject zero cases.
@@ -54,10 +47,6 @@ func runDeprecated(pass *Pass) {
 					return true
 				}
 				key := calleeKey(pass.TypesInfo, call)
-				if msg, ok := deprecatedCalls[key]; ok && msg != "" {
-					pass.Reportf(call.Pos(), "%s", msg)
-					return true
-				}
 				if selectCalls[key] && len(call.Args) == 0 {
 					pass.Reportf(call.Pos(), "Select with zero cases always fails with ErrBadHandle; pass at least one OnRequest/OnApplied/OnConfirmed/OnQuiescent case")
 					return true

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Well-known paths of the RMA-backed data-structure service layer.
+const (
+	dhtPath      = "mpi3rma/dht"
+	dhtQueuePath = "mpi3rma/dht/queue"
+)
+
+// DHTRawAnalyzer flags mutating raw-Session operations aimed at memory
+// that belongs to a dht service handle. Map.Stripes() and Queue.Mem()
+// return the live TargetMem descriptors the protocols run on; a raw
+// Session.Put/Accumulate/CompareSwap/FetchAdd through them scribbles over
+// bucket lock words or slot sequence words and corrupts the structure for
+// every rank. Read-only operations (Session.Get, Session.FetchWord) are
+// deliberately not flagged: the descriptors exist so diagnostics and
+// convergence tests can read converged state.
+var DHTRawAnalyzer = &Analyzer{
+	Name: "dhtraw",
+	Doc: "finds raw mutating Session operations (Put, PutNotify,\n" +
+		"Accumulate, AccumulateAxpy, FetchAdd, CompareSwap) whose target\n" +
+		"descriptor came from dht.Map.Stripes() or queue.Queue.Mem() —\n" +
+		"going around the service API corrupts bucket lock words and slot\n" +
+		"sequence words; use Map.Put/Get/Delete/CAS and\n" +
+		"Queue.Enqueue/Dequeue instead. Read-only Session.Get and\n" +
+		"Session.FetchWord on the same descriptors stay legal (diagnostics\n" +
+		"and byte-exact convergence checks).",
+	Run: runDHTRaw,
+}
+
+// dhtTaintSources maps the accessor methods that leak protocol memory to
+// a short name for the structure they belong to.
+var dhtTaintSources = map[string]string{
+	dhtPath + ".Map.Stripes":    "dht.Map.Stripes()",
+	dhtQueuePath + ".Queue.Mem": "queue.Queue.Mem()",
+}
+
+// dhtRawMutators maps mutating Session methods to the index of their
+// TargetMem argument.
+var dhtRawMutators = map[string]int{
+	rmaPath + ".Session.Put":            3,
+	rmaPath + ".Session.PutNotify":      3,
+	rmaPath + ".Session.Accumulate":     4,
+	rmaPath + ".Session.AccumulateAxpy": 4,
+	rmaPath + ".Session.FetchAdd":       0,
+	rmaPath + ".Session.CompareSwap":    0,
+}
+
+func runDHTRaw(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDHTRawFunc(pass, fn)
+		}
+	}
+}
+
+// checkDHTRawFunc tracks, within one function, which variables hold
+// protocol descriptors (assigned from a taint source, or derived from a
+// tainted value by indexing, slicing, or ranging) and reports mutating
+// raw Session calls that target them. Statements are visited in source
+// order, which covers the straight-line assignment chains the accessors
+// appear in.
+func checkDHTRawFunc(pass *Pass, fn *ast.FuncDecl) {
+	tainted := map[types.Object]string{}
+
+	// source resolves the structure name an expression's descriptor came
+	// from, or "" for untainted expressions.
+	var source func(e ast.Expr) string
+	source = func(e ast.Expr) string {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return dhtTaintSources[calleeKey(pass.TypesInfo, e)]
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return tainted[obj]
+			}
+		case *ast.IndexExpr:
+			return source(e.X)
+		case *ast.SliceExpr:
+			return source(e.X)
+		case *ast.UnaryExpr:
+			return source(e.X)
+		case *ast.StarExpr:
+			return source(e.X)
+		}
+		return ""
+	}
+	mark := func(lhs ast.Expr, src string) {
+		if src == "" {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = src
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = src
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], source(n.Rhs[i]))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				mark(n.Value, source(n.X))
+			}
+		case *ast.CallExpr:
+			idx, ok := dhtRawMutators[calleeKey(pass.TypesInfo, n)]
+			if !ok || len(n.Args) <= idx {
+				return true
+			}
+			if src := source(n.Args[idx]); src != "" {
+				fnName := callee(pass.TypesInfo, n).Name()
+				pass.Reportf(n.Pos(), "raw Session.%s on a descriptor from %s bypasses the service protocol (bucket lock/version words, slot sequence words) and corrupts the structure for every rank; use the service API — Map.Put/Get/Delete/CAS, Queue.Enqueue/Dequeue", fnName, src)
+			}
+		}
+		return true
+	})
+}

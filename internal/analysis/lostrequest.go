@@ -14,13 +14,13 @@ import (
 // The interprocedural tier (summary.go) extends both sides of the check
 // across function boundaries: a same-package helper that returns a fresh
 // request counts as a producer (discarding its result is the same bug),
-// and a helper that reaches CompleteAll counts as a completion point.
+// and a helper that reaches Complete counts as a completion point.
 var LostRequestAnalyzer = &Analyzer{
 	Name: "lostrequest",
 	Doc: "finds Put/Get/Accumulate requests that are discarded (assigned to _,\n" +
 		"never used, dropped by a bare call statement, or accumulated in a\n" +
 		"slice or struct field nothing ever reads) in functions with no later\n" +
-		"Complete/CompleteAll/CompleteCollective; such operations have no\n" +
+		"Complete/CompleteCollective; such operations have no\n" +
 		"completion point at all. Helpers that return fresh requests or reach\n" +
 		"a completion call are followed through their summaries. Blocking\n" +
 		"operations (WithBlocking, AttrBlocking) are exempt.",
@@ -72,7 +72,7 @@ func checkLostRequests(pass *Pass, sums *pkgSummaries, body *ast.BlockStmt) {
 			return
 		}
 		pass.Reportf(call.Pos(),
-			"request returned by %s is discarded and no Complete/CompleteAll/CompleteCollective follows in this function; the operation has no completion point (keep the request and Wait it, pass WithBlocking, or complete the target)",
+			"request returned by %s is discarded and no Complete/CompleteCollective follows in this function; the operation has no completion point (keep the request and Wait it, pass WithBlocking, or complete the target)",
 			name)
 	}
 
@@ -328,7 +328,7 @@ func checkRequestFields(pass *Pass, sums *pkgSummaries) {
 		}
 		for _, pos := range sites {
 			pass.Reportf(pos,
-				"request stored in field %s is never read anywhere in this package, and the package never calls Complete/CompleteAll/CompleteCollective; the operation has no completion point",
+				"request stored in field %s is never read anywhere in this package, and the package never calls Complete/CompleteCollective; the operation has no completion point",
 				obj.Name())
 		}
 	}

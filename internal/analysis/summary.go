@@ -56,7 +56,7 @@ type remoteEvent struct {
 type funcSummary struct {
 	fn *types.Func
 
-	// completes: the function may reach a Complete/CompleteAll/
+	// completes: the function may reach a Complete/
 	// CompleteCollective (directly or transitively). Calls to it count as
 	// completion points for lostrequest.
 	completes bool
@@ -149,7 +149,6 @@ func (s *pkgSummaries) summaryOf(info *types.Info, call *ast.CallExpr) *funcSumm
 // operations without holding the request.
 var completers = map[string]bool{
 	rmaPath + ".Session.Complete":           true,
-	rmaPath + ".Session.CompleteAll":        true,
 	rmaPath + ".Session.CompleteCollective": true,
 	corePath + ".Engine.Complete":           true,
 	corePath + ".Engine.CompleteCollective": true,
@@ -160,9 +159,7 @@ var completers = map[string]bool{
 // static mirror of the runtime checker's epoch-advance set.
 var legalizers = map[string]bool{
 	rmaPath + ".Session.Order":              true,
-	rmaPath + ".Session.OrderAll":           true,
 	rmaPath + ".Session.Complete":           true,
-	rmaPath + ".Session.CompleteAll":        true,
 	rmaPath + ".Session.CompleteCollective": true,
 	corePath + ".Engine.Order":              true,
 	corePath + ".Engine.OrderCollective":    true,

@@ -1,48 +1,32 @@
 // Package attrmisuse is the golden input for the attrmisuse analyzer.
+// Session-only options on transfer calls and WithTargetLayout at Open no
+// longer appear here: since the SessionOption/OpOption split they do not
+// type-check, so the analyzer's job shrank to the combinations the
+// compiler cannot see.
 package attrmisuse
 
 import (
 	"mpi3rma/internal/runtime"
-	"mpi3rma/internal/serializer"
 	"mpi3rma/rma"
 )
-
-func sessionOnlyOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
-	s := rma.Open(p)
-	src := p.Alloc(8)
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(8), rma.WithBlocking())                                         // want "WithBatch is ignored on Put"
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithMetrics(), rma.WithBlocking())                                        // want "WithMetrics is ignored on Put"
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithEvents(16), rma.WithBlocking())                                       // want "WithEvents is ignored on Put"
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithFlightRecorder(""), rma.WithBlocking())                               // want "WithFlightRecorder is ignored on Put"
-	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomicity(serializer.MechThread), rma.WithBlocking()) // want "WithAtomicity is ignored on Accumulate"
-	_ = s.CompleteAll()
-}
 
 func sessionOptionsAtOpenAreFine(p *runtime.Proc) {
 	_ = rma.Open(p, rma.WithBatch(8), rma.WithBatchBytes(1024), rma.WithMetrics(), rma.WithTracing(0), rma.WithChecker())
 	_ = rma.Open(p, rma.WithApplyShards(8), rma.WithApplyWorkers(4), rma.WithFlightRecorder(""))
 }
 
-func shardingOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
-	s := rma.Open(p)
-	src := p.Alloc(8)
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithApplyShards(8), rma.WithBlocking())  // want "WithApplyShards is ignored on Put"
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithApplyWorkers(4), rma.WithBlocking()) // want "WithApplyWorkers is ignored on Put"
-	_ = s.CompleteAll()
-}
-
 func duplicateOption(p *runtime.Proc, tm rma.TargetMem) {
 	s := rma.Open(p)
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithOrdering(), rma.WithOrdering(), rma.WithBlocking()) // want "duplicate option WithOrdering"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func notifyOnPutNotify(p *runtime.Proc, tm rma.TargetMem) {
 	s := rma.Open(p)
 	src := p.Alloc(8)
 	_, _ = s.PutNotify(src, 1, rma.Int64, tm, 0, rma.WithNotify(), rma.WithBlocking()) // want "WithNotify is redundant on PutNotify"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func rmwNoOps(p *runtime.Proc, tm rma.TargetMem) {
@@ -58,7 +42,7 @@ func getNoOps(p *runtime.Proc, tm rma.TargetMem) {
 	dst := p.Alloc(8)
 	_, _ = s.Get(dst, 1, rma.Int64, tm, 0, rma.WithRemoteComplete(), rma.WithBlocking()) // want "WithRemoteComplete is a no-op on Get"
 	_, _ = s.Get(dst, 1, rma.Int64, tm, 0, rma.WithNotify(), rma.WithBlocking())         // want "WithNotify is a no-op on Get"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func strictDebugImplies(p *runtime.Proc, tm rma.TargetMem) {
@@ -66,24 +50,40 @@ func strictDebugImplies(p *runtime.Proc, tm rma.TargetMem) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0, // want "WithOrdering is redundant alongside WithStrictDebug"
 		rma.WithStrictDebug(), rma.WithOrdering())
-	_ = s.CompleteAll()
-}
-
-func targetLayoutAtOpen(p *runtime.Proc) {
-	_ = rma.Open(p, rma.WithTargetLayout(4, rma.Int32)) // want "WithTargetLayout is meaningless at Open"
+	_ = s.Complete()
 }
 
 func targetLayoutOnTransferIsFine(p *runtime.Proc, tm rma.TargetMem) {
 	s := rma.Open(p)
 	src := p.Alloc(16)
 	_, _ = s.Put(src, 16, rma.Byte, tm, 0, rma.WithTargetLayout(1, rma.Vector(4, 4, 8, rma.Byte)), rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
+}
+
+// deprecatedOptionAlias still compiles — the alias is kept one release —
+// but every mention of the old type name is flagged.
+func deprecatedOptionAlias(p *runtime.Proc, tm rma.TargetMem) {
+	opts := []rma.Option{rma.WithOrdering()} // want "rma.Option is a deprecated alias"
+	s := rma.Open(p)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, opts[0], rma.WithBlocking())
+	_ = s.Complete()
+}
+
+func typedTaxonomyIsClean(p *runtime.Proc, tm rma.TargetMem) {
+	sessionOpts := []rma.SessionOption{rma.WithMetrics(), rma.WithOrdering()}
+	opOpts := []rma.OpOption{rma.WithOrdering()}
+	var attr rma.AttrOption = rma.WithBlocking()
+	s := rma.Open(p, sessionOpts...)
+	src := p.Alloc(8)
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, append(opOpts, attr)...)
+	_ = s.Complete()
 }
 
 func suppressed(p *runtime.Proc, tm rma.TargetMem) {
 	s := rma.Open(p)
 	src := p.Alloc(8)
-	//rmalint:ignore attrmisuse exercising the ignored-option path on purpose
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithBatch(4), rma.WithBlocking())
-	_ = s.CompleteAll()
+	//rmalint:ignore attrmisuse exercising the duplicate-option path on purpose
+	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithOrdering(), rma.WithOrdering(), rma.WithBlocking())
+	_ = s.Complete()
 }

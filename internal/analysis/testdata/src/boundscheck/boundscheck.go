@@ -15,7 +15,7 @@ func overrun(p *runtime.Proc, target int) {
 	_, _ = s.Put(src, 9, rma.Int64, tm, 0, rma.WithBlocking())  // want "Put of 72 bytes at displacement 0 exceeds the 64-byte exposure"
 	_, _ = s.Put(src, 1, rma.Int64, tm, 60, rma.WithBlocking()) // want "Put of 8 bytes at displacement 60 exceeds the 64-byte exposure"
 	_, _ = s.Get(src, 8, rma.Int64, tm, 8, rma.WithBlocking())  // want "Get of 64 bytes at displacement 8 exceeds the 64-byte exposure"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func constantFolding(p *runtime.Proc) {
@@ -24,7 +24,7 @@ func constantFolding(p *runtime.Proc) {
 	src := p.Alloc(128)
 	_, _ = s.Put(src, slots, rma.Int64, tm, 8, rma.WithBlocking()) // want "Put of 64 bytes at displacement 8 exceeds the 64-byte exposure"
 	_, _ = s.Put(src, slots, rma.Int64, tm, 0, rma.WithBlocking()) // exactly fits: no report
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func negativeDisplacement(p *runtime.Proc) {
@@ -32,7 +32,7 @@ func negativeDisplacement(p *runtime.Proc) {
 	tm, _ := s.Expose(64)
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, -8, rma.WithBlocking()) // want "Put at negative displacement -8"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func rmwWord(p *runtime.Proc) {
@@ -48,7 +48,7 @@ func accumulateShape(p *runtime.Proc) {
 	tm, _ := s.Expose(32)
 	src := p.Alloc(64)
 	_, _ = s.Accumulate(rma.Sum, src, 5, rma.Int64, tm, 0, rma.WithBlocking()) // want "Accumulate of 40 bytes at displacement 0 exceeds the 32-byte exposure"
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func inBoundsIsFine(p *runtime.Proc) {
@@ -58,7 +58,7 @@ func inBoundsIsFine(p *runtime.Proc) {
 	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
 	_, _ = s.Put(src, 16, rma.Float32, tm, 0, rma.WithBlocking())
 	_, _ = s.Get(src, 4, rma.Int64, tm, 32, rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // A non-constant size, displacement, or count defeats folding: no reports.
@@ -70,7 +70,7 @@ func dynamicQuantitiesAreFine(p *runtime.Proc, size, disp, count int) {
 	tm2, _ := s.Expose(64)
 	_, _ = s.Put(src, count, rma.Int64, tm2, 0, rma.WithBlocking())
 	_, _ = s.Put(src, 1, rma.Int64, tm2, disp, rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // WithTargetLayout changes the target-side extent; the symmetric-layout
@@ -80,7 +80,7 @@ func targetLayoutDefeatsFolding(p *runtime.Proc) {
 	tm, _ := s.Expose(64)
 	src := p.Alloc(128)
 	_, _ = s.Put(src, 16, rma.Int64, tm, 0, rma.WithTargetLayout(1, rma.Vector(8, 4, 8, rma.Byte)), rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // Reassigned descriptors have unknown sizes.
@@ -90,7 +90,7 @@ func reassignedIsUnknown(p *runtime.Proc, other rma.TargetMem) {
 	tm = other
 	src := p.Alloc(64)
 	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func suppressed(p *runtime.Proc) {
@@ -99,5 +99,5 @@ func suppressed(p *runtime.Proc) {
 	src := p.Alloc(64)
 	//rmalint:ignore boundscheck exercising the runtime ErrBounds path
 	_, _ = s.Put(src, 8, rma.Int64, tm, 0, rma.WithBlocking())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }

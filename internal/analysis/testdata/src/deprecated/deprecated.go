@@ -1,16 +1,12 @@
 // Package deprecated is the golden input for the deprecated analyzer.
+// The old all-ranks wrapper checks are gone with the wrappers
+// themselves; what remains is the event-surface misuse.
 package deprecated
 
 import (
 	"mpi3rma/internal/runtime"
 	"mpi3rma/rma"
 )
-
-func deprecatedWrappers(p *runtime.Proc) {
-	s := rma.Open(p, rma.WithProbeCompletion()) // want "WithProbeCompletion is deprecated"
-	_ = s.CompleteAll()                         // want "CompleteAll is deprecated"
-	_ = s.OrderAll()                            // want "OrderAll is deprecated"
-}
 
 func modernSpellingsAreClean(p *runtime.Proc) {
 	s := rma.Open(p)
@@ -55,8 +51,8 @@ func onDoneOnDistinctRequestsIsClean(p *runtime.Proc, tm rma.TargetMem) {
 	}
 }
 
-func suppressedDeprecation(p *runtime.Proc) {
+func suppressedEmptySelect(p *runtime.Proc) {
 	s := rma.Open(p)
-	//rmalint:ignore deprecated compat shim kept on purpose
-	_ = s.CompleteAll()
+	//rmalint:ignore deprecated exercised for its error path on purpose
+	_, _, _ = s.Select()
 }

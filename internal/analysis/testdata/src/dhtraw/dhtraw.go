@@ -1,0 +1,79 @@
+// Package dhtraw is the golden input for the dhtraw check: the dht map
+// and queue protocols own their exposed memory, and mutating it with raw
+// Session operations — instead of Map.Put/Get/Delete/CAS and
+// Queue.Enqueue/Dequeue — scribbles over lock and sequence words.
+// Read-only Session.Get and Session.FetchWord stay legal: the descriptors
+// are exported exactly so diagnostics can read converged state.
+package dhtraw
+
+import (
+	"mpi3rma/dht"
+	"mpi3rma/dht/queue"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/rma"
+)
+
+func rawPutOnStripe(p *runtime.Proc) {
+	s := rma.Open(p)
+	m, _ := dht.Open(s)
+	scratch := p.Alloc(8)
+	tms := m.Stripes()
+	tm := tms[0]
+	_, _ = s.Put(scratch, 8, rma.Byte, tm, 0) // want "raw Session.Put on a descriptor from dht.Map.Stripes\(\) bypasses the service protocol"
+}
+
+func rawRMWOnStripeInline(p *runtime.Proc) {
+	s := rma.Open(p)
+	m, _ := dht.Open(s)
+	_, _ = s.CompareSwap(m.Stripes()[2], 0, 0, 1) // want "raw Session.CompareSwap on a descriptor from dht.Map.Stripes\(\) bypasses the service protocol"
+	_, _ = s.FetchAdd(m.Stripes()[1], 8, 1)       // want "raw Session.FetchAdd on a descriptor from dht.Map.Stripes\(\) bypasses the service protocol"
+}
+
+func rawAccumulateViaRange(p *runtime.Proc) {
+	s := rma.Open(p)
+	m, _ := dht.Open(s)
+	scratch := p.Alloc(8)
+	for _, tm := range m.Stripes() {
+		_, _ = s.Accumulate(rma.Sum, scratch, 1, rma.Int64, tm, 0) // want "raw Session.Accumulate on a descriptor from dht.Map.Stripes\(\) bypasses the service protocol"
+	}
+}
+
+func rawPutOnQueue(p *runtime.Proc) {
+	s := rma.Open(p)
+	q, _ := queue.New(s, 0, 8, 16)
+	scratch := p.Alloc(16)
+	owner := q.Mem()
+	_, _ = s.PutNotify(scratch, 16, rma.Byte, owner, 32) // want "raw Session.PutNotify on a descriptor from queue.Queue.Mem\(\) bypasses the service protocol"
+	_, _ = s.FetchAdd(q.Mem(), 0, 1)                     // want "raw Session.FetchAdd on a descriptor from queue.Queue.Mem\(\) bypasses the service protocol"
+}
+
+// readOnlyDiagnostics: reading protocol memory is the descriptors' whole
+// point — byte-exact convergence checks and consoles do it. No findings.
+func readOnlyDiagnostics(p *runtime.Proc) {
+	s := rma.Open(p)
+	m, _ := dht.Open(s)
+	q, _ := queue.New(s, 0, 8, 16)
+	landing := p.Alloc(64)
+	tm := m.Stripes()[0]
+	_, _ = s.Get(landing, 64, rma.Byte, tm, 0, rma.WithBlocking())
+	_, _ = s.FetchWord(q.Mem(), 0)
+}
+
+// ownDescriptorsAreClean: descriptors from the application's own
+// exposures are none of this analyzer's business.
+func ownDescriptorsAreClean(p *runtime.Proc) {
+	s := rma.Open(p)
+	tm, _ := s.Expose(64)
+	scratch := p.Alloc(8)
+	_, _ = s.Put(scratch, 8, rma.Byte, tm, 0)
+	_, _ = s.FetchAdd(tm, 0, 1)
+}
+
+// suppressedRawPut: the ignore directive silences the finding.
+func suppressedRawPut(p *runtime.Proc) {
+	s := rma.Open(p)
+	m, _ := dht.Open(s)
+	scratch := p.Alloc(8)
+	//rmalint:ignore dhtraw migration shim, deleting next release
+	_, _ = s.Put(scratch, 8, rma.Byte, m.Stripes()[0], 0)
+}

@@ -77,7 +77,7 @@ func closureCompletionCounts(p *runtime.Proc, tm rma.TargetMem) {
 	s := rma.Open(p)
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	defer func() { _ = s.CompleteAll() }()
+	defer func() { _ = s.Complete() }()
 }
 
 func suppressed(p *runtime.Proc, tm rma.TargetMem) {

@@ -37,7 +37,7 @@ func helperRequestAwaited(p *runtime.Proc, tm rma.TargetMem) {
 
 // finish is a completing helper: its summary carries completes=true.
 func finish(s *rma.Session) {
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // completesViaHelper: the discarded Put is completed by finish — without

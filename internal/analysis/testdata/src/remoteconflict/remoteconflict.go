@@ -15,7 +15,7 @@ func overlappingPuts(p *runtime.Proc) {
 	src := p.Alloc(16)
 	_, _ = s.Put(src, 2, rma.Int64, tm, 0)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 8) // want `Put of bytes \[8,16\) overlaps the Put of bytes \[0,16\)`
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func putThenOverlappingGet(p *runtime.Proc) {
@@ -24,7 +24,7 @@ func putThenOverlappingGet(p *runtime.Proc) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
 	_, _ = s.Get(src, 1, rma.Int64, tm, 0) // want `Get of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func rmwVsPlainPut(p *runtime.Proc) {
@@ -33,7 +33,7 @@ func rmwVsPlainPut(p *runtime.Proc) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
 	_, _ = s.FetchAdd(tm, 0, 1) // want `FetchAdd of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func orderLegalizes(p *runtime.Proc) {
@@ -41,9 +41,9 @@ func orderLegalizes(p *runtime.Proc) {
 	tm, _ := s.Expose(64)
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.OrderAll()
+	_ = s.Order()
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func completeLegalizes(p *runtime.Proc) {
@@ -53,7 +53,7 @@ func completeLegalizes(p *runtime.Proc) {
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
 	_ = s.Complete(tm.Owner)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func atomicPairIsFine(p *runtime.Proc) {
@@ -62,7 +62,7 @@ func atomicPairIsFine(p *runtime.Proc) {
 	src := p.Alloc(8)
 	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomic())
 	_, _ = s.Accumulate(rma.Sum, src, 1, rma.Int64, tm, 0, rma.WithAtomic())
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func rmwPairIsFine(p *runtime.Proc) {
@@ -70,7 +70,7 @@ func rmwPairIsFine(p *runtime.Proc) {
 	tm, _ := s.Expose(64)
 	_, _ = s.FetchAdd(tm, 0, 1)
 	_, _ = s.FetchAdd(tm, 0, 1)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func disjointIsFine(p *runtime.Proc) {
@@ -79,7 +79,7 @@ func disjointIsFine(p *runtime.Proc) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 8)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func readsAreFine(p *runtime.Proc) {
@@ -88,7 +88,7 @@ func readsAreFine(p *runtime.Proc) {
 	dst := p.Alloc(8)
 	_, _ = s.Get(dst, 1, rma.Int64, tm, 0)
 	_, _ = s.Get(dst, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func distinctHandlesAreFine(p *runtime.Proc) {
@@ -98,7 +98,7 @@ func distinctHandlesAreFine(p *runtime.Proc) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm1, 0)
 	_, _ = s.Put(src, 1, rma.Int64, tm2, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // Non-constant displacements cannot be folded: state for the handle is
@@ -109,7 +109,7 @@ func dynamicDispIsSkipped(p *runtime.Proc, disp int) {
 	src := p.Alloc(8)
 	_, _ = s.Put(src, 1, rma.Int64, tm, disp)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // stampZero is a summarized helper whose constant access splices into
@@ -127,13 +127,13 @@ func helperThenDirect(p *runtime.Proc) {
 	src := p.Alloc(8)
 	stampZero(s, tm, src)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0) // want `Put of bytes \[0,8\) overlaps the Put of bytes \[0,8\)`
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 // stampAndComplete legalizes before returning: callers start clean.
 func stampAndComplete(s *rma.Session, tm rma.TargetMem, src rma.Region) {
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }
 
 func legalizingHelperIsFine(p *runtime.Proc) {
@@ -142,5 +142,5 @@ func legalizingHelperIsFine(p *runtime.Proc) {
 	src := p.Alloc(8)
 	stampAndComplete(s, tm, src)
 	_, _ = s.Put(src, 1, rma.Int64, tm, 0)
-	_ = s.CompleteAll()
+	_ = s.Complete()
 }

@@ -2,8 +2,9 @@
 // check: nothing in this package ever installs a fault plan, so no rank
 // can die and buddy replication pays a replica round-trip on every
 // mutating operation for protection that is never needed. It also covers
-// the session-only rule: WithReplication on a transfer call is silently
-// ignored.
+// mutating operation for protection that is never needed. (Passing it to
+// a transfer call stopped type-checking with the SessionOption/OpOption
+// split, so only the Open-position rule remains.)
 package replmisuse
 
 import (
@@ -13,11 +14,4 @@ import (
 
 func replicationWithoutFaults(p *runtime.Proc) {
 	_ = rma.Open(p, rma.WithReplication()) // want "WithReplication without a fault plan anywhere in this package"
-}
-
-func replicationOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
-	s := rma.Open(p)
-	src := p.Alloc(8)
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithReplication(), rma.WithBlocking()) // want "WithReplication is ignored on Put"
-	_ = s.CompleteAll()
 }

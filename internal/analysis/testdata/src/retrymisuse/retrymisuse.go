@@ -12,10 +12,3 @@ import (
 func retryWithoutFaults(p *runtime.Proc) {
 	_ = rma.Open(p, rma.WithRetryPolicy(rma.RetryPolicy{Budget: 4})) // want "WithRetryPolicy without a fault plan anywhere in this package"
 }
-
-func retryOnTransfer(p *runtime.Proc, tm rma.TargetMem) {
-	s := rma.Open(p)
-	src := p.Alloc(8)
-	_, _ = s.Put(src, 1, rma.Int64, tm, 0, rma.WithRetryPolicy(rma.RetryPolicy{}), rma.WithBlocking()) // want "WithRetryPolicy is ignored on Put"
-	_ = s.CompleteAll()
-}

@@ -103,9 +103,9 @@ func runE15Halo(pipelined bool, grain vtime.Duration) e15Outcome {
 		// pushes carry Ordering, turning "count reached k" into "the
 		// first k pushes landed". The blocking variant's complete+barrier
 		// never leaves two in flight, so it skips that cost.
-		var pushOpts []rma.Option
+		var pushOpts []rma.OpOption
 		if pipelined {
-			pushOpts = []rma.Option{rma.WithOrdering()}
+			pushOpts = []rma.OpOption{rma.WithOrdering()}
 		}
 		push := func(val uint64, parity int) {
 			binary.LittleEndian.PutUint64(rec, val)

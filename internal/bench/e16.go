@@ -1,0 +1,464 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mpi3rma/dht"
+	"mpi3rma/dht/queue"
+	"mpi3rma/internal/runtime"
+	"mpi3rma/internal/stats"
+	"mpi3rma/internal/telemetry"
+	"mpi3rma/internal/trace"
+	"mpi3rma/internal/vtime"
+	"mpi3rma/rma"
+)
+
+// E16 — the RMA-backed data-structure service layer under closed-loop
+// load (DESIGN.md §15).
+//
+// Seven server ranks expose the stripes of one global open-addressing
+// hash table; seven client ranks run a closed loop against it — each
+// client issues its next request only after the previous one completed,
+// the shape a key/value front-end actually has. Keys are drawn from a
+// Zipf distribution (s = 1.1), so a handful of hot keys concentrate
+// traffic on a few buckets and the per-bucket lock/version protocol is
+// exercised under real skew, not uniform load. The read/write mix is the
+// swept column: 90/10 is the classic serving mix, 50/50 the
+// write-heavy edge where every other request takes the full
+// claim-CAS / payload-put / unlock-put bucket transaction.
+//
+// A second series pushes tasks through the global MPMC queue — seven
+// producers fetch-add tickets while seven consumers drain, the
+// work-distribution half of the service layer — so the one report covers
+// both structures.
+//
+// Reported per mix: closed-loop throughput over modelled time, request
+// latency p50/p99 from the dht latency histograms merged across clients,
+// and per-stripe contention (lock retries + lost claims, by stripe) —
+// the skew made visible. A final small traced cell decomposes the
+// request path into protocol stages (the critical-path footer), without
+// requiring the harness-wide telemetry switch.
+//
+// Acceptance (EXPERIMENTS.md): the closed loop completes at least one
+// million requests across at least seven server stripes; every client
+// request completes (histogram count equals requests issued, no misses
+// on the preloaded key space); p99 >= p50 > 0; the queue drains every
+// produced task exactly once (count and checksum agree across sides).
+
+// E16Servers is the number of ranks exposing table stripes.
+const E16Servers = 7
+
+// E16Clients is the number of closed-loop client ranks.
+const E16Clients = 7
+
+// E16Buckets is the per-server stripe size in buckets.
+const E16Buckets = 4096
+
+// E16ValueSize is the payload size per key in bytes.
+const E16ValueSize = 8
+
+// E16Keys is the preloaded key-space size; Zipf draws stay inside it so
+// the loop never misses.
+const E16Keys = 16384
+
+// E16PerClient is the number of closed-loop requests each client issues
+// per mix cell: 7 clients x 2 mixes x 75k = 1.05M total requests.
+const E16PerClient = 75_000
+
+// E16ZipfS is the Zipf skew parameter (s > 1; larger is more skewed).
+const E16ZipfS = 1.1
+
+// E16ReadPcts sweeps the read share of the request mix.
+var E16ReadPcts = []int{90, 50}
+
+// E16QueuePerProducer is the task count each producer pushes through the
+// queue series. The single-owner funnel prices every ticket, poll, and
+// handoff at one rank, so this series is sized an order of magnitude
+// below the DHT loop — it measures the funnel, not the fabric.
+const E16QueuePerProducer = 1_000
+
+// E16QueueSlots is the queue ring size; far fewer slots than in-flight
+// tasks, so producers feel backpressure and wrap the ring many times.
+const E16QueueSlots = 64
+
+// E16QueueSlotSize is the task payload size in bytes.
+const E16QueueSlotSize = 16
+
+// E16TracedPerClient sizes the critical-path footer cell: big enough for
+// stable stage shares, small enough that the trace ring holds the
+// timeline.
+const E16TracedPerClient = 300
+
+// e16Value derives a deterministic value payload for (key, writer
+// version), so overwrites change bytes and readers can sanity-check
+// length.
+func e16Value(key, version int) []byte {
+	b := make([]byte, E16ValueSize)
+	binary.LittleEndian.PutUint64(b, uint64(key)*1_000_003+uint64(version))
+	return b
+}
+
+// e16ServeOutcome is one mix cell: slowest-rank modelled loop time, host
+// wall time, merged client latency snapshot, per-stripe contention and
+// operation counters summed across clients, and — for the traced cell —
+// the critical-path report.
+type e16ServeOutcome struct {
+	model vtime.Time
+	wall  time.Duration
+	lat   stats.HistogramSnapshot
+	cont  []int64
+	agg   dht.Stats
+	crit  *telemetry.CriticalPathReport
+	tel   *TelemetrySummary
+}
+
+// runE16Serve drives one closed-loop mix cell. traced forces a
+// telemetry collector regardless of the harness switch, so the
+// critical-path footer exists in every report.
+func runE16Serve(readPct, perClient int, traced bool) e16ServeOutcome {
+	var out e16ServeOutcome
+	start := time.Now()
+	ranks := E16Servers + E16Clients
+	world := runtime.NewWorld(runtime.Config{Ranks: ranks, Seed: int64(1600 + readPct)})
+	defer world.Close()
+
+	col := newCollector()
+	if traced && col == nil {
+		col = &telemetryCollector{
+			regs:  make(map[int]*telemetry.Registry),
+			rings: make(map[int]*trace.Ring),
+		}
+	}
+	lats := make([]stats.HistogramSnapshot, ranks)
+	conts := make([][]int64, ranks)
+	ops := make([]dht.Stats, ranks)
+	err := world.Run(func(p *runtime.Proc) {
+		s := rma.Open(p)
+		col.attach(p.Rank(), s.Engine())
+		m, err := dht.Open(s,
+			dht.WithServers(E16Servers),
+			dht.WithBuckets(E16Buckets),
+			dht.WithValueSize(E16ValueSize))
+		if err != nil {
+			panic(err)
+		}
+		comm := p.Comm()
+		me := p.Rank()
+
+		// Preload: clients stripe the key space between them so every
+		// Zipf draw hits an existing key and the loop measures serving,
+		// not cold inserts.
+		if me >= E16Servers {
+			for k := me - E16Servers; k < E16Keys; k += E16Clients {
+				if err := m.Put(int64(k), e16Value(k, 0)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		p.Barrier()
+		m.Latency().Reset()
+		preload := m.Stats()
+
+		t0 := p.Now()
+		if me >= E16Servers {
+			rng := rand.New(rand.NewSource(int64(7919*me + readPct)))
+			zipf := rand.NewZipf(rng, E16ZipfS, 1, uint64(E16Keys-1))
+			for i := 0; i < perClient; i++ {
+				key := int64(zipf.Uint64())
+				if rng.Intn(100) < readPct {
+					v, ok, err := m.Get(key)
+					if err != nil {
+						panic(err)
+					}
+					if !ok || len(v) != E16ValueSize {
+						panic("e16: preloaded key missing or torn")
+					}
+				} else {
+					if err := m.Put(key, e16Value(int(key), i+1)); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		loop := comm.AllreduceInt64(runtime.OpMax, int64(p.Now())-int64(t0))
+
+		lats[me] = m.Latency().Snapshot()
+		conts[me] = m.StripeContention()
+		st := m.Stats()
+		// Counters accumulate from Open; subtract the preload phase so
+		// the report describes the measured loop alone.
+		ops[me] = dht.Stats{
+			Gets:        st.Gets - preload.Gets,
+			Puts:        st.Puts - preload.Puts,
+			Misses:      st.Misses - preload.Misses,
+			ProbeSteps:  st.ProbeSteps - preload.ProbeSteps,
+			LockRetries: st.LockRetries - preload.LockRetries,
+			CASRaces:    st.CASRaces - preload.CASRaces,
+		}
+		if me == 0 {
+			out.model = vtime.Time(loop)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	out.wall = time.Since(start)
+	out.cont = make([]int64, E16Servers)
+	for r := E16Servers; r < ranks; r++ {
+		out.lat.Merge(lats[r])
+		for i, c := range conts[r] {
+			out.cont[i] += c
+		}
+		out.agg.Gets += ops[r].Gets
+		out.agg.Puts += ops[r].Puts
+		out.agg.Misses += ops[r].Misses
+		out.agg.ProbeSteps += ops[r].ProbeSteps
+		out.agg.LockRetries += ops[r].LockRetries
+		out.agg.CASRaces += ops[r].CASRaces
+	}
+	out.tel = col.summary()
+	if traced && out.tel != nil {
+		out.crit = telemetry.AnalyzeCriticalPath(out.tel.Events)
+	}
+	return out
+}
+
+// e16QueueOutcome is the task-queue series: modelled drain time, wall
+// time, merged per-task handoff latencies, producer/consumer poll
+// counters, and the count/checksum agreement proof.
+type e16QueueOutcome struct {
+	model                  vtime.Time
+	wall                   time.Duration
+	lat                    stats.HistogramSnapshot
+	produced, consumed     int64
+	prodSum, consSum       int64
+	prodPolls, consPolls   int64
+	enqueueLat, dequeueLat stats.HistogramSnapshot
+}
+
+// runE16Queue pushes E16QueuePerProducer tasks per producer through the
+// global queue: ranks [E16Servers, ranks) produce, ranks [0, E16Servers)
+// consume, rank 0 owns the ring.
+func runE16Queue(perProd int) e16QueueOutcome {
+	var out e16QueueOutcome
+	start := time.Now()
+	ranks := E16Servers + E16Clients
+	world := runtime.NewWorld(runtime.Config{Ranks: ranks, Seed: 1699})
+	defer world.Close()
+
+	enqLats := make([]stats.HistogramSnapshot, ranks)
+	deqLats := make([]stats.HistogramSnapshot, ranks)
+	sums := make([]int64, ranks)
+	counts := make([]int64, ranks)
+	polls := make([]int64, ranks)
+	err := world.Run(func(p *runtime.Proc) {
+		s := rma.Open(p)
+		q, err := queue.New(s, 0, E16QueueSlots, E16QueueSlotSize)
+		if err != nil {
+			panic(err)
+		}
+		comm := p.Comm()
+		me := p.Rank()
+		var hist stats.Histogram
+		var sum, count int64
+		p.Barrier()
+		t0 := p.Now()
+		if me >= E16Servers {
+			task := make([]byte, E16QueueSlotSize)
+			for i := 0; i < perProd; i++ {
+				binary.LittleEndian.PutUint64(task, uint64(me)<<32|uint64(i))
+				binary.LittleEndian.PutUint64(task[8:], uint64(me*1_000_003+i))
+				before := p.Now()
+				if err := q.Enqueue(task); err != nil {
+					panic(err)
+				}
+				hist.Observe(int64(p.Now() - before))
+				sum += int64(binary.LittleEndian.Uint64(task)) + int64(binary.LittleEndian.Uint64(task[8:]))
+				count++
+			}
+		} else {
+			for i := 0; i < perProd; i++ {
+				before := p.Now()
+				task, err := q.Dequeue()
+				if err != nil {
+					panic(err)
+				}
+				hist.Observe(int64(p.Now() - before))
+				sum += int64(binary.LittleEndian.Uint64(task)) + int64(binary.LittleEndian.Uint64(task[8:]))
+				count++
+			}
+		}
+		drain := comm.AllreduceInt64(runtime.OpMax, int64(p.Now())-int64(t0))
+		st := q.Stats()
+		if me >= E16Servers {
+			enqLats[me] = hist.Snapshot()
+			polls[me] = st.ProducerPolls
+		} else {
+			deqLats[me] = hist.Snapshot()
+			polls[me] = st.ConsumerPolls
+		}
+		sums[me] = sum
+		counts[me] = count
+		if me == 0 {
+			out.model = vtime.Time(drain)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	out.wall = time.Since(start)
+	for r := 0; r < ranks; r++ {
+		if r >= E16Servers {
+			out.enqueueLat.Merge(enqLats[r])
+			out.produced += counts[r]
+			out.prodSum += sums[r]
+			out.prodPolls += polls[r]
+		} else {
+			out.dequeueLat.Merge(deqLats[r])
+			out.consumed += counts[r]
+			out.consSum += sums[r]
+			out.consPolls += polls[r]
+		}
+	}
+	out.lat.Merge(out.enqueueLat)
+	out.lat.Merge(out.dequeueLat)
+	return out
+}
+
+// e16Throughput converts a completed-request count over a modelled
+// duration into thousands of requests per modelled second.
+func e16Throughput(requests int64, model vtime.Time) float64 {
+	if model <= 0 {
+		return 0
+	}
+	return float64(requests) / (float64(model) / 1e9) / 1e3
+}
+
+// RunE16 sweeps the read/write mix over the DHT closed loop, runs the
+// queue drain, and appends the traced critical-path footer.
+func RunE16() Result {
+	res := Result{
+		Name: "e16",
+		Title: fmt.Sprintf("E16: RMA data-structure service layer under closed-loop load (%d servers x %d clients, Zipf s=%.1f over %d keys, %d req/client/mix; queue: %d producers x %d tasks)",
+			E16Servers, E16Clients, E16ZipfS, E16Keys, E16PerClient, E16Clients, E16QueuePerProducer),
+	}
+	const serveName = "dht closed loop (col: read %)"
+	const queueName = "task queue drain (col: tasks/producer /1k)"
+	res.SeriesOrder = []string{serveName, queueName}
+
+	var totalRequests int64
+	type cell struct {
+		pct int
+		out e16ServeOutcome
+	}
+	cells := make([]cell, 0, len(E16ReadPcts))
+	for _, pct := range E16ReadPcts {
+		out := runE16Serve(pct, E16PerClient, false)
+		cells = append(cells, cell{pct, out})
+		totalRequests += out.lat.Count
+
+		var contTotal, contMax int64
+		for _, c := range out.cont {
+			contTotal += c
+			if c > contMax {
+				contMax = c
+			}
+		}
+		row := Row{
+			Series:  serveName,
+			Size:    pct,
+			WallNS:  float64(out.wall.Nanoseconds()),
+			ModelUS: float64(out.model) / 1e3,
+			Extra: map[string]float64{
+				"kreq_s":  e16Throughput(out.lat.Count, out.model),
+				"p50_us":  float64(out.lat.Quantile(0.50)) / 1e3,
+				"p99_us":  float64(out.lat.Quantile(0.99)) / 1e3,
+				"retries": float64(out.agg.LockRetries + out.agg.CASRaces),
+			},
+		}
+		if contTotal > 0 {
+			row.Extra["hot_stripe_pct"] = 100 * float64(contMax) / float64(contTotal)
+		}
+		res.Add(row)
+		res.absorbTelemetry(out.tel)
+
+		res.Notef("mix %d/%d: stripe contention (lock retries + lost claims, stripes 0..%d): %v",
+			pct, 100-pct, E16Servers-1, out.cont)
+		res.Notef("mix %d/%d: %d gets + %d puts, %d probe steps, %d lock retries, %d claim races",
+			pct, 100-pct, out.agg.Gets, out.agg.Puts, out.agg.ProbeSteps, out.agg.LockRetries, out.agg.CASRaces)
+	}
+
+	qout := runE16Queue(E16QueuePerProducer)
+	res.Add(Row{
+		Series:  queueName,
+		Size:    E16QueuePerProducer / 1000,
+		WallNS:  float64(qout.wall.Nanoseconds()),
+		ModelUS: float64(qout.model) / 1e3,
+		Extra: map[string]float64{
+			"ktask_s":    e16Throughput(qout.consumed, qout.model),
+			"p50_us":     float64(qout.lat.Quantile(0.50)) / 1e3,
+			"p99_us":     float64(qout.lat.Quantile(0.99)) / 1e3,
+			"prod_polls": float64(qout.prodPolls),
+			"cons_polls": float64(qout.consPolls),
+		},
+	})
+	res.Notef("queue: enqueue p50/p99 %d/%dns, dequeue p50/p99 %d/%dns (vtime); %d producer polls, %d consumer polls",
+		qout.enqueueLat.Quantile(0.50), qout.enqueueLat.Quantile(0.99),
+		qout.dequeueLat.Quantile(0.50), qout.dequeueLat.Quantile(0.99),
+		qout.prodPolls, qout.consPolls)
+
+	// Shape notes: the acceptance claims, self-validating.
+	check := func(ok bool, format string, args ...any) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		res.Notef(status+": "+format, args...)
+	}
+	check(totalRequests >= 1_000_000 && E16Servers >= 7,
+		"closed loop completed %d requests (>=1M) across %d server stripes (>=7)", totalRequests, E16Servers)
+	for _, c := range cells {
+		want := int64(E16Clients) * E16PerClient
+		check(c.out.lat.Count == want && c.out.agg.Misses == 0,
+			"mix %d/%d: every request completed (%d/%d), zero misses on the preloaded key space",
+			c.pct, 100-c.pct, c.out.lat.Count, want)
+		p50, p99 := c.out.lat.Quantile(0.50), c.out.lat.Quantile(0.99)
+		check(p99 >= p50 && p50 > 0,
+			"mix %d/%d: latency percentiles well-formed (p50 %dns <= p99 %dns)", c.pct, 100-c.pct, p50, p99)
+		var busy int
+		for _, n := range c.out.cont {
+			if n > 0 {
+				busy++
+			}
+		}
+		check(busy > 0, "mix %d/%d: Zipf skew surfaced bucket contention (%d/%d stripes contended)",
+			c.pct, 100-c.pct, busy, E16Servers)
+	}
+	check(qout.produced == qout.consumed && qout.prodSum == qout.consSum && qout.produced == int64(E16Clients)*E16QueuePerProducer,
+		"queue drained every task exactly once (%d produced, %d consumed, checksums agree)", qout.produced, qout.consumed)
+
+	// Critical-path footer: a small traced rerun of the 90/10 mix
+	// decomposes one request path into protocol stages, independent of
+	// the harness telemetry switch.
+	traced := runE16Serve(90, E16TracedPerClient, true)
+	if rep := traced.crit; rep != nil && rep.Spans > 0 && rep.TotalVTime > 0 {
+		stages := ""
+		for _, st := range rep.Stages {
+			if stages != "" {
+				stages += ", "
+			}
+			stages += fmt.Sprintf("%s %.0f%%", st.Stage, 100*float64(st.Total)/float64(rep.TotalVTime))
+		}
+		res.Notef("critical path (traced 90/10 cell, %d client requests, %d spans): %s; end-to-end p50 %dns p99 %dns",
+			E16Clients*E16TracedPerClient, rep.Spans, stages, rep.EndToEnd.P50, rep.EndToEnd.P99)
+	} else {
+		res.Notef("FAIL: traced cell produced no critical-path spans")
+	}
+	res.noteTelemetry()
+	return res
+}

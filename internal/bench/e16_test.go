@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestE16Smoke runs tiny E16 cells — full rank geometry, small request
+// counts — and asserts the invariants the full run's PASS notes claim:
+// every closed-loop request completes with zero misses, the latency
+// histogram is well-formed, contention is attributed to stripes, the
+// queue drains exactly once, and the traced cell yields a critical path.
+func TestE16Smoke(t *testing.T) {
+	const perClient = 120
+	out := runE16Serve(90, perClient, false)
+	want := int64(E16Clients) * perClient
+	if out.lat.Count != want {
+		t.Errorf("completed %d requests, want %d", out.lat.Count, want)
+	}
+	if out.agg.Misses != 0 {
+		t.Errorf("%d misses on a fully preloaded key space", out.agg.Misses)
+	}
+	if out.model <= 0 {
+		t.Errorf("non-positive modelled loop time %d", out.model)
+	}
+	p50, p99 := out.lat.Quantile(0.50), out.lat.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("malformed percentiles: p50=%d p99=%d", p50, p99)
+	}
+	if len(out.cont) != E16Servers {
+		t.Errorf("contention vector covers %d stripes, want %d", len(out.cont), E16Servers)
+	}
+	if got := out.agg.Gets + out.agg.Puts; got != want {
+		t.Errorf("op counters total %d, want %d", got, want)
+	}
+
+	const perProd = 60
+	qout := runE16Queue(perProd)
+	if qout.produced != qout.consumed || qout.produced != int64(E16Clients)*perProd {
+		t.Errorf("queue drain mismatch: produced=%d consumed=%d want=%d",
+			qout.produced, qout.consumed, int64(E16Clients)*perProd)
+	}
+	if qout.prodSum != qout.consSum {
+		t.Errorf("queue checksums disagree: produced=%d consumed=%d", qout.prodSum, qout.consSum)
+	}
+
+	traced := runE16Serve(90, 40, true)
+	if traced.crit == nil || traced.crit.Spans == 0 {
+		t.Errorf("traced cell produced no critical-path spans")
+	}
+	if traced.tel == nil || len(traced.tel.Events) == 0 {
+		t.Errorf("traced cell recorded no timeline events")
+	}
+}

@@ -151,6 +151,7 @@ func All() []Result {
 		RunE13(),
 		RunE14(),
 		RunE15(),
+		RunE16(),
 	}
 }
 
@@ -185,6 +186,8 @@ func ByName(name string) (Result, bool) {
 		return RunE14(), true
 	case "e15":
 		return RunE15(), true
+	case "e16":
+		return RunE16(), true
 	case "chaos":
 		return RunChaos(), true
 	default:
@@ -194,5 +197,5 @@ func ByName(name string) (Result, bool) {
 
 // Names lists the experiment ids ByName accepts.
 func Names() []string {
-	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "chaos"}
+	return []string{"fig2", "fig1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "chaos"}
 }

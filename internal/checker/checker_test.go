@@ -49,7 +49,7 @@ func runWorld(t *testing.T, ranks int, body func(s *rma.Session, p *runtime.Proc
 }
 
 // put writes 8 bytes at disp and completes toward the target.
-func put(t *testing.T, s *rma.Session, p *runtime.Proc, tm rma.TargetMem, disp int, opts ...rma.Option) {
+func put(t *testing.T, s *rma.Session, p *runtime.Proc, tm rma.TargetMem, disp int, opts ...rma.OpOption) {
 	t.Helper()
 	src := p.Alloc(8)
 	if _, err := s.Put(src, 1, rma.Int64, tm, disp, opts...); err != nil {

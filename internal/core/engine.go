@@ -62,6 +62,7 @@ const (
 const (
 	rmwFetchAdd = 1
 	rmwCompSwap = 2
+	rmwFetch    = 3
 )
 
 // Options configures a rank's RMA engine.

@@ -35,11 +35,29 @@ func (e *Engine) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, trank
 	return e.rmw(rmwCompSwap, tm, tdisp, operand[:], trank, comm, attrs)
 }
 
+// FetchWord atomically reads the int64 at tm+tdisp — the degenerate RMW
+// that modifies nothing. It shares the serializer path with FetchAdd and
+// CompareSwap (the read cannot observe a torn concurrent update) but,
+// because the target memory is untouched, it skips replication and is the
+// cheap primitive for polling remote lock words and sequence numbers.
+func (e *Engine) FetchWord(tm TargetMem, tdisp int, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
+	return e.rmw(rmwFetch, tm, tdisp, nil, trank, comm, attrs)
+}
+
 func (e *Engine) rmw(subop int, tm TargetMem, tdisp int, operand []byte, trank int, comm *runtime.Comm, attrs Attr) (int64, error) {
 	if !tm.Valid() {
 		return 0, fmt.Errorf("core: invalid target_mem descriptor: %w", ErrBadHandle)
 	}
-	if w := comm.WorldRank(trank); w != tm.Owner {
+	// Spare ranks live outside the communicator: a descriptor re-targeted
+	// at a dead rank's successor (tm.Owner = spare) names it by world rank
+	// directly, mirroring validateXfer.
+	w := trank
+	if trank >= 0 && trank < comm.Size() {
+		w = comm.WorldRank(trank)
+	} else if wd := e.proc.World(); trank < 0 || wd == nil || trank >= wd.TotalRanks() {
+		return 0, fmt.Errorf("core: target rank %d out of range: %w", trank, ErrBadHandle)
+	}
+	if w != tm.Owner {
 		return 0, fmt.Errorf("core: target rank %d resolves to world rank %d, but target_mem is owned by rank %d: %w", trank, w, tm.Owner, ErrBadHandle)
 	}
 	if tdisp < 0 || tdisp+8 > tm.Size {
@@ -118,7 +136,8 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 		disp := int(m.Hdr[hDisp])
 		bad := exp == nil || !exp.region.Contains(disp, 8) ||
 			(subop == rmwFetchAdd && len(m.Payload) != 8) ||
-			(subop == rmwCompSwap && len(m.Payload) != 16)
+			(subop == rmwCompSwap && len(m.Payload) != 16) ||
+			(subop == rmwFetch && len(m.Payload) != 0)
 		e.scheduleApply(m.Src, at, 8, true, func(end vtime.Time) {
 			var old [8]byte
 			ok := !bad
@@ -137,6 +156,8 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 						if prev == compare {
 							storeElem(cur, 8, order, swap)
 						}
+					case rmwFetch:
+						// Pure read: the old value is the whole result.
 					default:
 						ok = false
 					}
@@ -153,7 +174,7 @@ func (e *Engine) handleRMW(m *simnet.Message, at vtime.Time) {
 					OpID: m.Hdr[hReq], Member: -1, Epoch: m.Hdr[hMeta] >> 32, At: end,
 				})
 			}
-			mutated := ok
+			mutated := ok && subop != rmwFetch
 			fin := func(end vtime.Time) {
 				count := e.finishApply(m, attrs&^(AttrRemoteComplete|AttrNotify), true, end, e.applyCost(8))
 				reply := newMsg(m.Src, kRMWReply)

@@ -7,19 +7,68 @@ import (
 	"mpi3rma/internal/simnet"
 )
 
-// Option configures a Session (passed to Open) or a single operation
-// (passed to Put, Get, Accumulate, ...). Attribute options work in both
-// positions: at Open they become the engine-wide defaults of requirement 5
-// ("most stringent rules while debugging"); on an operation they apply to
-// that transfer alone. Session-only options (WithBatch, WithAtomicity,
-// WithProbeCompletion) are ignored when passed to an operation.
-type Option func(*config)
+// The option taxonomy is enforced by the compiler (PR 10's api_redesign):
+//
+//   - SessionOption configures a Session and is accepted only by Open —
+//     batching, the atomicity mechanism, telemetry, events, faults,
+//     replication, the apply-shard pool. Passing one to a transfer call
+//     no longer compiles (it used to be silently ignored, caught only by
+//     rmalint's attrmisuse analyzer at lint time).
+//   - OpOption configures a single operation and is accepted only by the
+//     transfer calls (Put, Get, Accumulate, FetchAdd, ...). Today that is
+//     the per-operation attributes plus WithTargetLayout.
+//   - AttrOption is the intersection: the paper's per-operation attributes
+//     (WithOrdering, WithAtomic, ...) satisfy both interfaces, because at
+//     Open they become the engine-wide defaults of requirement 5 ("most
+//     stringent rules while debugging") and on an operation they apply to
+//     that transfer alone.
 
-type config struct {
+// SessionOption configures a Session at Open. Attribute options
+// (AttrOption) are SessionOptions too: at Open they install engine-wide
+// default attributes.
+type SessionOption interface {
+	applySession(*sessionConfig)
+}
+
+// OpOption configures a single operation (Put, Get, Accumulate, FetchAdd,
+// CompareSwap, ...). Attribute options are OpOptions; WithTargetLayout is
+// the one operation-only non-attribute option.
+type OpOption interface {
+	applyOp(*opConfig)
+}
+
+// AttrOption is a per-operation attribute usable in both positions: as an
+// engine-wide default at Open, or on an individual transfer. It is the
+// value type WithOrdering, WithRemoteComplete, WithAtomic, WithBlocking,
+// WithNotify and WithStrictDebug return.
+type AttrOption core.Attr
+
+func (a AttrOption) applySession(c *sessionConfig) { c.attrs |= core.Attr(a) }
+func (a AttrOption) applyOp(c *opConfig)           { c.attrs |= core.Attr(a) }
+
+// Option is the pre-split any-position option type.
+//
+// Deprecated: the option taxonomy is typed now — use SessionOption in
+// code that forwards options to Open, OpOption for transfer-call options,
+// and AttrOption where only attributes are meant. Option remains one
+// release as an alias of AttrOption so existing declarations compile.
+type Option = AttrOption
+
+// sessionOption adapts a config mutator into a SessionOption (the
+// constructor return type of every Open-only option).
+type sessionOption func(*sessionConfig)
+
+func (f sessionOption) applySession(c *sessionConfig) { f(c) }
+
+// opOption adapts a config mutator into an OpOption (WithTargetLayout).
+type opOption func(*opConfig)
+
+func (f opOption) applyOp(c *opConfig) { f(c) }
+
+// sessionConfig collects everything Open can install.
+type sessionConfig struct {
 	attrs     core.Attr
 	opts      core.Options
-	tcount    int
-	tdt       Type
 	metrics   bool
 	tracing   bool
 	traceCap  int
@@ -33,15 +82,30 @@ type config struct {
 	replicate bool
 }
 
-func buildConfig(opts []Option) config {
-	var c config
+// opConfig collects what a single transfer can override.
+type opConfig struct {
+	attrs  core.Attr
+	tcount int
+	tdt    Type
+}
+
+func buildSessionConfig(opts []SessionOption) sessionConfig {
+	var c sessionConfig
 	for _, o := range opts {
-		o(&c)
+		o.applySession(&c)
 	}
 	return c
 }
 
-func (c config) engineOptions() core.Options {
+func buildOpConfig(opts []OpOption) opConfig {
+	var c opConfig
+	for _, o := range opts {
+		o.applyOp(&c)
+	}
+	return c
+}
+
+func (c sessionConfig) engineOptions() core.Options {
 	o := c.opts
 	o.DefaultAttrs |= c.attrs
 	return o
@@ -49,7 +113,7 @@ func (c config) engineOptions() core.Options {
 
 // targetLayout resolves the target-side count/datatype: symmetric with the
 // origin unless WithTargetLayout overrode it.
-func (c config) targetLayout(ocount int, odt Type) (int, Type) {
+func (c opConfig) targetLayout(ocount int, odt Type) (int, Type) {
 	if c.tdt != nil {
 		return c.tcount, c.tdt
 	}
@@ -59,99 +123,76 @@ func (c config) targetLayout(ocount int, odt Type) (int, Type) {
 // WithOrdering requests the Ordering attribute: operations to the same
 // target apply in issue order. Within one atomicity class when batching
 // reorders across classes; see DESIGN.md §5.
-func WithOrdering() Option {
-	return func(c *config) { c.attrs |= core.AttrOrdering }
-}
+func WithOrdering() AttrOption { return AttrOption(core.AttrOrdering) }
 
 // WithRemoteComplete requests the RemoteComplete attribute: the request
 // completes only once the data is applied at the target, not merely when
 // the origin buffer is reusable.
-func WithRemoteComplete() Option {
-	return func(c *config) { c.attrs |= core.AttrRemoteComplete }
-}
+func WithRemoteComplete() AttrOption { return AttrOption(core.AttrRemoteComplete) }
 
 // WithAtomic requests the Atomic attribute: the update is applied through
 // the target's serializer so concurrent accumulates from many origins
 // do not interleave element-wise.
-func WithAtomic() Option {
-	return func(c *config) { c.attrs |= core.AttrAtomic }
-}
+func WithAtomic() AttrOption { return AttrOption(core.AttrAtomic) }
 
 // WithBlocking makes the call return only when the operation's request
 // would complete; the returned request is already done.
-func WithBlocking() Option {
-	return func(c *config) { c.attrs |= core.AttrBlocking }
-}
+func WithBlocking() AttrOption { return AttrOption(core.AttrBlocking) }
 
 // WithNotify asks the target to report the operation's application on the
 // per-origin delivery counter, so a later Complete can finish without a
 // probe round-trip (notified completion).
-func WithNotify() Option {
-	return func(c *config) { c.attrs |= core.AttrNotify }
-}
+func WithNotify() AttrOption { return AttrOption(core.AttrNotify) }
 
 // WithStrictDebug is the requirement-5 debugging preset: ordered,
 // remotely complete, and atomic. Install at Open while debugging, delete
 // the option when done — no transfer call changes.
-func WithStrictDebug() Option {
-	return func(c *config) { c.attrs |= core.StrictDebugAttrs }
-}
+func WithStrictDebug() AttrOption { return AttrOption(core.StrictDebugAttrs) }
 
 // WithTargetLayout transfers into a target-side layout different from the
 // origin's (e.g. scattering a contiguous origin buffer into a Vector).
 // The type signatures must still match element-wise.
-func WithTargetLayout(tcount int, tdt Type) Option {
-	return func(c *config) { c.tcount, c.tdt = tcount, tdt }
+func WithTargetLayout(tcount int, tdt Type) OpOption {
+	return opOption(func(c *opConfig) { c.tcount, c.tdt = tcount, tdt })
 }
 
-// WithBatch enables origin-side operation batching (Open only): up to
-// maxOps small puts/accumulates per target are coalesced into one
-// aggregated wire message, amortizing per-message overhead. Batches flush
-// when full, when a non-batchable operation targets the same rank, and at
+// WithBatch enables origin-side operation batching: up to maxOps small
+// puts/accumulates per target are coalesced into one aggregated wire
+// message, amortizing per-message overhead. Batches flush when full, when
+// a non-batchable operation targets the same rank, and at
 // Flush/Order/Complete.
-func WithBatch(maxOps int) Option {
-	return func(c *config) { c.opts.BatchOps = maxOps }
+func WithBatch(maxOps int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.opts.BatchOps = maxOps })
 }
 
-// WithBatchBytes bounds one batch's accumulated payload (Open only;
-// default rma core DefaultBatchBytes). Larger operations bypass batching.
-func WithBatchBytes(n int) Option {
-	return func(c *config) { c.opts.BatchBytes = n }
+// WithBatchBytes bounds one batch's accumulated payload (default rma core
+// DefaultBatchBytes). Larger operations bypass batching.
+func WithBatchBytes(n int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.opts.BatchBytes = n })
 }
 
 // WithAtomicity selects the serializer mechanism backing the Atomic
-// attribute (Open only): serializer.MechThread, MechCoarseLock, or
-// MechProgress — the three implementation strategies of the paper's
-// Figure 2.
-func WithAtomicity(m serializer.Mechanism) Option {
-	return func(c *config) { c.opts.Atomicity = m }
-}
-
-// WithProbeCompletion forces Complete to use the probe round-trip even
-// when delivery counters could answer locally (Open only).
-//
-// Deprecated: applications wanting per-operation completion should use
-// the Request surface — Await, Done, Err — instead of forcing probe
-// round-trips; the option remains for A/B measurements (experiment E13).
-func WithProbeCompletion() Option {
-	return func(c *config) { c.opts.ProbeCompletion = true }
+// attribute: serializer.MechThread, MechCoarseLock, or MechProgress — the
+// three implementation strategies of the paper's Figure 2.
+func WithAtomicity(m serializer.Mechanism) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.opts.Atomicity = m })
 }
 
 // WithApplyShards partitions this rank's exposed memory into n byte-range
-// shards applied by a parallel worker pool (Open only): operations from
-// different origins to disjoint ranges apply concurrently, while spanning,
-// ordered, conflicting, and atomic operations keep serial-engine semantics
-// through a designated shard and the serializer (DESIGN.md §10). The
-// default (0 or 1) is the serial engine, bit-compatible by construction.
-func WithApplyShards(n int) Option {
-	return func(c *config) { c.opts.ApplyShards = n }
+// shards applied by a parallel worker pool: operations from different
+// origins to disjoint ranges apply concurrently, while spanning, ordered,
+// conflicting, and atomic operations keep serial-engine semantics through
+// a designated shard and the serializer (DESIGN.md §10). The default (0
+// or 1) is the serial engine, bit-compatible by construction.
+func WithApplyShards(n int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.opts.ApplyShards = n })
 }
 
-// WithApplyWorkers bounds the worker pool draining the apply shards (Open
-// only; 0 = one worker per shard). Passing WithApplyWorkers alone enables
-// sharding with that many shards.
-func WithApplyWorkers(n int) Option {
-	return func(c *config) { c.opts.ApplyWorkers = n }
+// WithApplyWorkers bounds the worker pool draining the apply shards (0 =
+// one worker per shard). Passing WithApplyWorkers alone enables sharding
+// with that many shards.
+func WithApplyWorkers(n int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.opts.ApplyWorkers = n })
 }
 
 // WithMetrics enables the telemetry registry at Open: every engine, NIC
@@ -160,16 +201,16 @@ func WithApplyWorkers(n int) Option {
 // (the registry aliases live counters); only latency histograms are
 // recorded in addition. Unlike other session options, metrics can be
 // enabled by any Open of the rank, not only the first.
-func WithMetrics() Option {
-	return func(c *config) { c.metrics = true }
+func WithMetrics() SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.metrics = true })
 }
 
 // WithTracing installs a protocol event ring of the given capacity
 // (0 = trace.DefaultCapacity) at Open, feeding Session.DumpTimeline and
 // span reconstruction. Like WithMetrics it is honoured by any Open, but
 // an already-installed tracer is kept.
-func WithTracing(capacity int) Option {
-	return func(c *config) { c.tracing, c.traceCap = true, capacity }
+func WithTracing(capacity int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.tracing, c.traceCap = true, capacity })
 }
 
 // WithEvents installs the completion-event queue at Open with the given
@@ -179,8 +220,8 @@ func WithTracing(capacity int) Option {
 // rank, but the first installed queue (including one Session.Events
 // created implicitly) keeps its capacity. Without it, Session.Events
 // installs a default-capacity queue on first use.
-func WithEvents(capacity int) Option {
-	return func(c *config) { c.events, c.eventsCap = true, capacity }
+func WithEvents(capacity int) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.events, c.eventsCap = true, capacity })
 }
 
 // WithFaults installs a deterministic fault-injection plan on the world's
@@ -190,8 +231,8 @@ func WithEvents(capacity int) Option {
 // should all pass the same plan, and must Open before communicating so no
 // traffic predates relay protection. Faults exhaust retry budgets into
 // ErrLinkFailed — observe degradation via Session.Err().
-func WithFaults(plan *FaultPlan) Option {
-	return func(c *config) { c.faults = plan }
+func WithFaults(plan *FaultPlan) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.faults = plan })
 }
 
 // WithRetryPolicy tunes (and enables, even without a fault plan) the
@@ -200,25 +241,24 @@ func WithFaults(plan *FaultPlan) Option {
 // window. Zero fields take the portals defaults. On a lossless default
 // wire the relay never retransmits — pair this with WithFaults (or a
 // fault plan installed elsewhere) for it to matter.
-func WithRetryPolicy(p RetryPolicy) Option {
-	return func(c *config) { c.retry = &p }
+func WithRetryPolicy(p RetryPolicy) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.retry = &p })
 }
 
-// WithReplication enables buddy replication at Open (session-only):
-// every region this rank exposes afterwards is mirrored in-band to its
-// buddy rank ((rank+1) mod worldsize), and each mutating operation
-// completes only once the buddy has acknowledged its bytes — so a
-// returned Complete means the update survives this rank's death. When
-// the failure detector declares a rank dead (see WithFaults rank-kill
-// schedules), the buddy promotes its replicas onto a spare rank
-// (runtime.Config.Spares) and the world resumes; origins re-fetch the
-// spare's descriptors and carry on. Metadata cost is O(1) per rank: one
-// buddy binding and a version counter per exposed region. Pair it with
-// WithFaults — without a fault plan no rank ever dies and the option
-// only adds mirroring traffic. SPMD ranks (including spares) should all
-// pass it.
-func WithReplication() Option {
-	return func(c *config) { c.replicate = true }
+// WithReplication enables buddy replication at Open: every region this
+// rank exposes afterwards is mirrored in-band to its buddy rank
+// ((rank+1) mod worldsize), and each mutating operation completes only
+// once the buddy has acknowledged its bytes — so a returned Complete
+// means the update survives this rank's death. When the failure detector
+// declares a rank dead (see WithFaults rank-kill schedules), the buddy
+// promotes its replicas onto a spare rank (runtime.Config.Spares) and the
+// world resumes; origins re-fetch the spare's descriptors and carry on.
+// Metadata cost is O(1) per rank: one buddy binding and a version counter
+// per exposed region. Pair it with WithFaults — without a fault plan no
+// rank ever dies and the option only adds mirroring traffic. SPMD ranks
+// (including spares) should all pass it.
+func WithReplication() SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.replicate = true })
 }
 
 // WithChecker enables the RMA semantic checker at Open: every
@@ -230,8 +270,8 @@ func WithReplication() Option {
 // read results with Session.Checker(). Like WithMetrics it is honoured by
 // any Open of the rank. When not enabled, transfer hot paths pay one
 // atomic load and allocate nothing.
-func WithChecker() Option {
-	return func(c *config) { c.checker = true }
+func WithChecker() SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.checker = true })
 }
 
 // WithFlightRecorder enables the postmortem flight recorder at Open: a
@@ -241,9 +281,8 @@ func WithChecker() Option {
 // depths, metric deltas — into dir the first time a link fails or the
 // apply engine faults. An empty dir falls back to the system temp
 // directory. Dump on demand with Session.FlightRecorder().DumpFile.
-// Session-level: honoured only at Open, ignored on per-operation calls.
 // When not enabled, recorder feed sites pay one atomic load and allocate
 // nothing.
-func WithFlightRecorder(dir string) Option {
-	return func(c *config) { c.flight, c.flightDir = true, dir }
+func WithFlightRecorder(dir string) SessionOption {
+	return sessionOption(func(c *sessionConfig) { c.flight, c.flightDir = true, dir })
 }

@@ -150,11 +150,11 @@ type Session struct {
 }
 
 // Open attaches the RMA engine to the calling rank and returns its
-// session. Session-level options (WithBatch, WithAtomicity,
-// WithProbeCompletion, and attribute options as engine-wide defaults) are
-// honoured only by the rank's first Open.
-func Open(p *runtime.Proc, opts ...Option) *Session {
-	cfg := buildConfig(opts)
+// session. Session-level options (WithBatch, WithAtomicity, and attribute
+// options as engine-wide defaults) are honoured only by the rank's first
+// Open.
+func Open(p *runtime.Proc, opts ...SessionOption) *Session {
+	cfg := buildSessionConfig(opts)
 	s := &Session{
 		eng:  core.Attach(p, cfg.engineOptions()),
 		proc: p,
@@ -339,8 +339,8 @@ func (s *Session) Retract(tm TargetMem) error { return s.eng.Retract(tm) }
 // byte displacement tdisp (MPI_RMA_put). Nonblocking by default: the
 // returned request completes when the origin buffer is reusable (or, with
 // WithRemoteComplete, when the data is applied at the target).
-func (s *Session) Put(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
-	c := buildConfig(opts)
+func (s *Session) Put(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...OpOption) (*Request, error) {
+	c := buildOpConfig(opts)
 	tcount, tdt := c.targetLayout(count, dt)
 	return s.eng.Put(origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
 }
@@ -348,46 +348,56 @@ func (s *Session) Put(origin Region, count int, dt Type, dst TargetMem, tdisp in
 // PutNotify is Put with the Notify attribute: the target reports the
 // operation's application on a delivery counter, feeding Complete's
 // probe-free fast path.
-func (s *Session) PutNotify(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
-	return s.Put(origin, count, dt, dst, tdisp, append(opts, WithNotify())...)
+func (s *Session) PutNotify(origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...OpOption) (*Request, error) {
+	return s.Put(origin, count, dt, dst, tdisp, append(opts, OpOption(WithNotify()))...)
 }
 
 // Get transfers count elements of dt from src at byte displacement tdisp
 // into the origin region (MPI_RMA_get). The request completes when the
 // data has landed; check Request.Err for target-side failures.
-func (s *Session) Get(origin Region, count int, dt Type, src TargetMem, tdisp int, opts ...Option) (*Request, error) {
-	c := buildConfig(opts)
+func (s *Session) Get(origin Region, count int, dt Type, src TargetMem, tdisp int, opts ...OpOption) (*Request, error) {
+	c := buildOpConfig(opts)
 	tcount, tdt := c.targetLayout(count, dt)
 	return s.eng.Get(origin, count, dt, src, tdisp, tcount, tdt, src.Owner, s.comm, c.attrs)
 }
 
 // Accumulate combines count elements of dt from the origin region into dst
 // with op (MPI_RMA_xfer with an accumulate optype).
-func (s *Session) Accumulate(op AccOp, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
-	c := buildConfig(opts)
+func (s *Session) Accumulate(op AccOp, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...OpOption) (*Request, error) {
+	c := buildOpConfig(opts)
 	tcount, tdt := c.targetLayout(count, dt)
 	return s.eng.Accumulate(op, origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
 }
 
 // AccumulateAxpy performs target = scale*origin + target over
 // floating-point elements (the ARMCI-style daxpy accumulate).
-func (s *Session) AccumulateAxpy(scale float64, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...Option) (*Request, error) {
-	c := buildConfig(opts)
+func (s *Session) AccumulateAxpy(scale float64, origin Region, count int, dt Type, dst TargetMem, tdisp int, opts ...OpOption) (*Request, error) {
+	c := buildOpConfig(opts)
 	tcount, tdt := c.targetLayout(count, dt)
 	return s.eng.AccumulateAxpy(scale, origin, count, dt, dst, tdisp, tcount, tdt, dst.Owner, s.comm, c.attrs)
 }
 
 // FetchAdd atomically adds delta to the int64 at tm+tdisp, returning the
 // previous value (the unconditional read-modify-write of Section V).
-func (s *Session) FetchAdd(tm TargetMem, tdisp int, delta int64, opts ...Option) (int64, error) {
-	c := buildConfig(opts)
+func (s *Session) FetchAdd(tm TargetMem, tdisp int, delta int64, opts ...OpOption) (int64, error) {
+	c := buildOpConfig(opts)
 	return s.eng.FetchAdd(tm, tdisp, delta, tm.Owner, s.comm, c.attrs)
+}
+
+// FetchWord atomically reads the int64 at tm+tdisp — the read half of the
+// read-modify-write family. Unlike FetchAdd with a zero delta it mutates
+// nothing at the target, so it triggers no replication traffic and is the
+// right primitive for polling a remote lock/version word or a queue
+// sequence number.
+func (s *Session) FetchWord(tm TargetMem, tdisp int, opts ...OpOption) (int64, error) {
+	c := buildOpConfig(opts)
+	return s.eng.FetchWord(tm, tdisp, tm.Owner, s.comm, c.attrs)
 }
 
 // CompareSwap atomically compares the int64 at tm+tdisp with compare and,
 // if equal, stores swap; it returns the previous value.
-func (s *Session) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, opts ...Option) (int64, error) {
-	c := buildConfig(opts)
+func (s *Session) CompareSwap(tm TargetMem, tdisp int, compare, swap int64, opts ...OpOption) (int64, error) {
+	c := buildOpConfig(opts)
 	return s.eng.CompareSwap(tm, tdisp, compare, swap, tm.Owner, s.comm, c.attrs)
 }
 
@@ -398,18 +408,13 @@ func (s *Session) Flush() { s.eng.Flush() }
 
 // Complete blocks until every operation this rank issued to the given
 // target world ranks has been applied there — MPI_RMA_complete. With no
-// arguments it covers every rank (what CompleteAll used to spell);
+// arguments it covers every rank (the paper's MPI_RMA_ALL_RANKS);
 // duplicate targets are collapsed. With notified or batched operations it
 // completes on delivery counters without network traffic; otherwise it
 // pays one probe round-trip per target.
 func (s *Session) Complete(targets ...int) error {
 	return s.eng.Complete(s.comm, targets...)
 }
-
-// CompleteAll completes toward every rank.
-//
-// Deprecated: call Complete with no arguments instead.
-func (s *Session) CompleteAll() error { return s.Complete() }
 
 // CompleteCollective is the collective completion: every rank calls it; on
 // return every operation issued by anyone to anyone has been applied.
@@ -418,15 +423,10 @@ func (s *Session) CompleteCollective() error { return s.eng.CompleteCollective(s
 // Order guarantees operations issued to the given targets before the call
 // apply before operations issued after it — MPI_RMA_order, the weak
 // (fence-style) synchronization. With no arguments it covers every rank
-// (what OrderAll used to spell).
+// (the paper's MPI_RMA_ALL_RANKS).
 func (s *Session) Order(targets ...int) error {
 	return s.eng.Order(s.comm, targets...)
 }
-
-// OrderAll orders toward every rank.
-//
-// Deprecated: call Order with no arguments instead.
-func (s *Session) OrderAll() error { return s.Order() }
 
 // Event-driven completion (the push side of the completion surface; see
 // DESIGN.md §11). An Event is one completion transition — a request
